@@ -1,0 +1,67 @@
+"""Figures 6, 7 and 8: scatter comparisons with distribution crosses.
+
+* Figure 6 compares every heuristic to the two lower bounds;
+* Figure 7 normalises per scenario by ParSubtrees;
+* Figure 8 normalises per scenario by ParInnerFirst.
+
+Each benchmark times the figure-data computation over the shared record
+set and persists both the ASCII rendering and the raw CSV.
+"""
+
+import numpy as np
+
+from repro.analysis import figure_csv, figure_data, render_figure
+from .conftest import save_artifact
+
+
+def test_figure6_lower_bounds(benchmark, records, artifact_dir):
+    data = benchmark.pedantic(
+        lambda: figure_data(records, 6), rounds=1, iterations=1
+    )
+    text = render_figure(data, title="Figure 6: comparison to lower bounds")
+    save_artifact(artifact_dir, "figure6.txt", text)
+    save_artifact(artifact_dir, "figure6.csv", figure_csv(data))
+    by_name = {s.heuristic: s for s in data}
+    # All ratios dominate 1 (these are lower bounds).
+    for s in data:
+        assert np.all(s.x >= 1 - 1e-9) and np.all(s.y >= 1 - 1e-9)
+    # Paper: ParDeepestFirst has the best average makespan ratio and the
+    # worst average memory ratio of the four heuristics.
+    avg_mk = {n: float(np.mean(s.x)) for n, s in by_name.items()}
+    avg_mem = {n: float(np.mean(s.y)) for n, s in by_name.items()}
+    assert min(avg_mk, key=avg_mk.get) == "ParDeepestFirst"
+    assert max(avg_mem, key=avg_mem.get) == "ParDeepestFirst"
+
+
+def test_figure7_vs_parsubtrees(benchmark, records, artifact_dir):
+    data = benchmark.pedantic(
+        lambda: figure_data(records, 7), rounds=1, iterations=1
+    )
+    text = render_figure(data, title="Figure 7: comparison to ParSubtrees")
+    save_artifact(artifact_dir, "figure7.txt", text)
+    save_artifact(artifact_dir, "figure7.csv", figure_csv(data))
+    by_name = {s.heuristic: s for s in data}
+    # Paper: ParSubtreesOptim stays close to ParSubtrees -- better
+    # makespan, slightly worse memory, on average.
+    optim = by_name["ParSubtreesOptim"]
+    assert float(np.mean(optim.x)) <= 1.0 + 1e-9
+    assert float(np.mean(optim.y)) >= 1.0 - 1e-9
+    # Paper: the list schedulers usually improve the makespan over
+    # ParSubtrees at a memory cost.
+    for name in ("ParInnerFirst", "ParDeepestFirst"):
+        assert float(np.mean(by_name[name].x)) <= 1.0 + 1e-9
+
+
+def test_figure8_vs_parinnerfirst(benchmark, records, artifact_dir):
+    data = benchmark.pedantic(
+        lambda: figure_data(records, 8), rounds=1, iterations=1
+    )
+    text = render_figure(data, title="Figure 8: comparison to ParInnerFirst")
+    save_artifact(artifact_dir, "figure8.txt", text)
+    save_artifact(artifact_dir, "figure8.csv", figure_csv(data))
+    by_name = {s.heuristic: s for s in data}
+    # Paper: ParDeepestFirst always uses more memory than ParInnerFirst
+    # while having comparable makespans.
+    deepest = by_name["ParDeepestFirst"]
+    assert float(np.mean(deepest.y)) >= 1.0 - 1e-9
+    assert 0.7 <= float(np.mean(deepest.x)) <= 1.1

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools but no ``wheel`` package, so
+PEP 660 editable installs (which build a wheel) fail. Keeping a
+``setup.py`` lets ``pip install -e .`` use the legacy develop path.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

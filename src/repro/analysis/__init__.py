@@ -1,0 +1,35 @@
+"""Experiment harness and statistics for Section 6's tables and figures."""
+
+from .experiments import ScenarioRecord, run_experiments, save_records, load_records
+from .metrics import HeuristicStats, compute_table1_stats, group_by_scenario
+from .tables import render_table1, table1_csv
+from .figures import FigureSeries, Cross, figure_data, render_figure, figure_csv
+from .pareto import ParetoPoint, dominates, pareto_front, hypervolume
+from .shape_stats import ShapeSummary, summarize_shapes, render_shape_table
+from .visualize import render_tree, render_memory_profile
+
+__all__ = [
+    "ScenarioRecord",
+    "run_experiments",
+    "save_records",
+    "load_records",
+    "HeuristicStats",
+    "compute_table1_stats",
+    "group_by_scenario",
+    "render_table1",
+    "table1_csv",
+    "FigureSeries",
+    "Cross",
+    "figure_data",
+    "render_figure",
+    "figure_csv",
+    "ParetoPoint",
+    "dominates",
+    "pareto_front",
+    "hypervolume",
+    "ShapeSummary",
+    "summarize_shapes",
+    "render_shape_table",
+    "render_tree",
+    "render_memory_profile",
+]

@@ -1,0 +1,97 @@
+"""Experiment runner: heuristics x trees x processor counts -> records.
+
+One :class:`ScenarioRecord` per (tree, p, heuristic) holds the measured
+makespan and peak memory together with the two lower bounds of
+Section 6.3 (sequential-postorder memory; ``max(W/p, CP)`` makespan).
+Every table and figure of the paper is a pure function of these records,
+implemented in :mod:`repro.analysis.metrics` /
+:mod:`repro.analysis.tables` / :mod:`repro.analysis.figures`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, Sequence
+
+from repro.core.bounds import makespan_lower_bound
+from repro.parallel.heuristics import HEURISTICS, run_all
+from repro.sequential.postorder import optimal_postorder
+from repro.workloads.dataset import TreeInstance, PROCESSOR_COUNTS
+
+__all__ = ["ScenarioRecord", "run_experiments", "save_records", "load_records"]
+
+
+@dataclass(frozen=True)
+class ScenarioRecord:
+    """Measured performance of one heuristic on one (tree, p) scenario."""
+
+    tree: str
+    n: int
+    p: int
+    heuristic: str
+    makespan: float
+    memory: float
+    memory_lb: float
+    makespan_lb: float
+
+    @property
+    def memory_ratio(self) -> float:
+        """Peak memory relative to the sequential lower bound (Fig. 6 y-axis)."""
+        return self.memory / self.memory_lb if self.memory_lb > 0 else float("inf")
+
+    @property
+    def makespan_ratio(self) -> float:
+        """Makespan relative to the lower bound (Fig. 6 x-axis)."""
+        return self.makespan / self.makespan_lb if self.makespan_lb > 0 else float("inf")
+
+
+def run_experiments(
+    instances: Iterable[TreeInstance],
+    processor_counts: Sequence[int] = PROCESSOR_COUNTS,
+    heuristics: Sequence[str] | None = None,
+    validate: bool = False,
+    progress: bool = False,
+) -> list[ScenarioRecord]:
+    """Run the full cross product of the paper's Section 6 campaign.
+
+    The sequential memory lower bound is computed once per tree and
+    shared across processor counts, exactly as in the paper (the bound
+    does not depend on ``p``).
+    """
+    names = list(heuristics) if heuristics is not None else list(HEURISTICS)
+    records: list[ScenarioRecord] = []
+    for inst in instances:
+        mem_lb = optimal_postorder(inst.tree).peak_memory
+        for p in processor_counts:
+            cmax_lb = makespan_lower_bound(inst.tree, p)
+            results = run_all(inst.tree, p, validate=validate)
+            for name in names:
+                r = results[name]
+                records.append(
+                    ScenarioRecord(
+                        tree=inst.name,
+                        n=inst.tree.n,
+                        p=p,
+                        heuristic=name,
+                        makespan=r.makespan,
+                        memory=r.peak_memory,
+                        memory_lb=mem_lb,
+                        makespan_lb=cmax_lb,
+                    )
+                )
+        if progress:  # pragma: no cover - cosmetic
+            print(f"  done {inst.name} (n={inst.tree.n})")
+    return records
+
+
+def save_records(records: Sequence[ScenarioRecord], path: str) -> None:
+    """Serialise records to JSON for later analysis / plotting."""
+    with open(path, "w") as fh:
+        json.dump([asdict(r) for r in records], fh, indent=1)
+
+
+def load_records(path: str) -> list[ScenarioRecord]:
+    """Load records written by :func:`save_records`."""
+    with open(path) as fh:
+        return [ScenarioRecord(**row) for row in json.load(fh)]

@@ -1,0 +1,103 @@
+"""Statistics over scenario records: the quantities of Table 1.
+
+For every scenario (tree, p) the per-heuristic results are compared:
+
+* **best memory / best makespan** -- fraction of scenarios where the
+  heuristic attains the scenario minimum (ties count for all tied);
+* **within 5% of best** -- fraction where it is within a factor 1.05 of
+  the scenario best;
+* **average deviation from optimal (seq.) memory** -- mean of
+  ``memory / memory_lb - 1`` in percent (133% in the paper means 2.33x
+  the sequential memory);
+* **average deviation from best makespan** -- mean of
+  ``makespan / best_makespan - 1`` in percent.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .experiments import ScenarioRecord
+
+__all__ = ["HeuristicStats", "compute_table1_stats", "group_by_scenario"]
+
+_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class HeuristicStats:
+    """One row of Table 1."""
+
+    heuristic: str
+    best_memory: float
+    within5_memory: float
+    avg_dev_seq_memory: float
+    best_makespan: float
+    within5_makespan: float
+    avg_dev_best_makespan: float
+    scenarios: int
+
+
+def group_by_scenario(
+    records: Sequence[ScenarioRecord],
+) -> dict[tuple[str, int], list[ScenarioRecord]]:
+    """Group records by (tree, p) scenario."""
+    groups: dict[tuple[str, int], list[ScenarioRecord]] = defaultdict(list)
+    for r in records:
+        groups[(r.tree, r.p)].append(r)
+    return dict(groups)
+
+
+def compute_table1_stats(records: Sequence[ScenarioRecord]) -> list[HeuristicStats]:
+    """Compute the Table 1 rows from a record set.
+
+    Heuristics are reported in the paper's order when present.
+    """
+    groups = group_by_scenario(records)
+    names: list[str] = []
+    for r in records:
+        if r.heuristic not in names:
+            names.append(r.heuristic)
+    best_mem_hits = defaultdict(int)
+    within5_mem_hits = defaultdict(int)
+    best_mk_hits = defaultdict(int)
+    within5_mk_hits = defaultdict(int)
+    dev_mem = defaultdict(list)
+    dev_mk = defaultdict(list)
+    n_scen = 0
+    for recs in groups.values():
+        if len(recs) != len(names):
+            raise ValueError("incomplete scenario: every heuristic must be present")
+        n_scen += 1
+        best_mem = min(r.memory for r in recs)
+        best_mk = min(r.makespan for r in recs)
+        for r in recs:
+            if r.memory <= best_mem * (1 + _REL_TOL):
+                best_mem_hits[r.heuristic] += 1
+            if r.memory <= best_mem * 1.05:
+                within5_mem_hits[r.heuristic] += 1
+            if r.makespan <= best_mk * (1 + _REL_TOL):
+                best_mk_hits[r.heuristic] += 1
+            if r.makespan <= best_mk * 1.05:
+                within5_mk_hits[r.heuristic] += 1
+            dev_mem[r.heuristic].append(r.memory / r.memory_lb - 1.0)
+            dev_mk[r.heuristic].append(r.makespan / best_mk - 1.0)
+    stats = []
+    for name in names:
+        stats.append(
+            HeuristicStats(
+                heuristic=name,
+                best_memory=100.0 * best_mem_hits[name] / n_scen,
+                within5_memory=100.0 * within5_mem_hits[name] / n_scen,
+                avg_dev_seq_memory=100.0 * float(np.mean(dev_mem[name])),
+                best_makespan=100.0 * best_mk_hits[name] / n_scen,
+                within5_makespan=100.0 * within5_mk_hits[name] / n_scen,
+                avg_dev_best_makespan=100.0 * float(np.mean(dev_mk[name])),
+                scenarios=n_scen,
+            )
+        )
+    return stats

@@ -1,0 +1,74 @@
+"""Bi-objective (makespan, memory) Pareto analysis.
+
+Theorem 2 rules out a single schedule approximating both objectives; in
+practice one therefore navigates a *front* of trade-offs -- the four
+heuristics plus the capped scheduler swept over budgets. This module
+provides the standard multi-objective tooling over
+:class:`~repro.analysis.experiments.ScenarioRecord`-like points:
+dominance tests, Pareto-front extraction, and the 2-D hypervolume
+indicator used to compare fronts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["ParetoPoint", "dominates", "pareto_front", "hypervolume"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One candidate schedule in the (makespan, memory) plane."""
+
+    makespan: float
+    memory: float
+    label: str = ""
+
+
+def dominates(a: ParetoPoint, b: ParetoPoint, tol: float = 0.0) -> bool:
+    """True iff ``a`` weakly dominates ``b`` and is strictly better in at
+    least one objective (both objectives are minimised)."""
+    no_worse = a.makespan <= b.makespan + tol and a.memory <= b.memory + tol
+    better = a.makespan < b.makespan - tol or a.memory < b.memory - tol
+    return no_worse and better
+
+
+def pareto_front(points: Iterable[ParetoPoint]) -> list[ParetoPoint]:
+    """Non-dominated subset, sorted by increasing makespan.
+
+    Duplicate coordinates are collapsed to one representative. O(n log n)
+    via the sweep over makespan-sorted points.
+    """
+    pts = sorted(set((p.makespan, p.memory, p.label) for p in points))
+    front: list[ParetoPoint] = []
+    best_memory = float("inf")
+    for makespan, memory, label in pts:
+        if memory < best_memory:
+            front.append(ParetoPoint(makespan, memory, label))
+            best_memory = memory
+    return front
+
+
+def hypervolume(
+    points: Sequence[ParetoPoint], reference: ParetoPoint
+) -> float:
+    """2-D hypervolume dominated by ``points`` w.r.t. ``reference``.
+
+    The reference must be weakly worse than every point in both
+    objectives; points beyond it contribute nothing. Larger is better.
+    """
+    front = [
+        p
+        for p in pareto_front(points)
+        if p.makespan <= reference.makespan and p.memory <= reference.memory
+    ]
+    # front is sorted by increasing makespan with strictly decreasing
+    # memory; point i dominates the rectangle
+    # [makespan_i, makespan_{i+1}) x [memory_i, reference.memory),
+    # where the last right boundary is the reference itself.
+    volume = 0.0
+    for i, p in enumerate(front):
+        right = front[i + 1].makespan if i + 1 < len(front) else reference.makespan
+        volume += (right - p.makespan) * (reference.memory - p.memory)
+    return volume

@@ -1,0 +1,71 @@
+"""Data-set shape statistics (the paper's Section 6.2 summary).
+
+The paper characterises its 608 assembly trees by node count
+(2,000-1,000,000), depth (12-70,000) and maximum degree (2-175,000).
+This module computes the same summary for any tree set, so EXPERIMENTS.md
+can report our data set side by side with the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.workloads.dataset import TreeInstance
+
+__all__ = ["ShapeSummary", "summarize_shapes", "render_shape_table"]
+
+
+@dataclass(frozen=True)
+class ShapeSummary:
+    """Min/median/max of one shape statistic over a tree set."""
+
+    name: str
+    minimum: float
+    median: float
+    maximum: float
+
+
+def summarize_shapes(instances: Sequence[TreeInstance]) -> list[ShapeSummary]:
+    """Node count, depth, max degree and leaf count over the data set."""
+    if not instances:
+        raise ValueError("empty data set")
+    stats = {
+        "nodes": [inst.tree.n for inst in instances],
+        "depth": [inst.tree.height() for inst in instances],
+        "max degree": [inst.tree.max_degree() for inst in instances],
+        "leaves": [inst.tree.n_leaves() for inst in instances],
+    }
+    return [
+        ShapeSummary(
+            name=name,
+            minimum=float(np.min(vals)),
+            median=float(np.median(vals)),
+            maximum=float(np.max(vals)),
+        )
+        for name, vals in stats.items()
+    ]
+
+
+_PAPER_SHAPES = {
+    "nodes": (2_000, None, 1_000_000),
+    "depth": (12, None, 70_000),
+    "max degree": (2, None, 175_000),
+}
+
+
+def render_shape_table(summaries: Sequence[ShapeSummary]) -> str:
+    """ASCII table of the shape summary, with the paper's ranges."""
+    lines = [
+        f"{'statistic':<12s} {'min':>9s} {'median':>9s} {'max':>9s} {'paper range':>18s}"
+    ]
+    for s in summaries:
+        paper = _PAPER_SHAPES.get(s.name)
+        paper_txt = f"{paper[0]:,} - {paper[2]:,}" if paper else "-"
+        lines.append(
+            f"{s.name:<12s} {s.minimum:>9g} {s.median:>9g} {s.maximum:>9g} "
+            f"{paper_txt:>18s}"
+        )
+    return "\n".join(lines)

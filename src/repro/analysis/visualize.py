@@ -1,0 +1,105 @@
+"""ASCII visualization: tree structure and memory profiles.
+
+Terminal-friendly renderings used by the examples and handy when
+debugging a scheduler: a box-drawing tree view annotated with weights,
+and a time/memory area chart of a schedule's profile with the peak and
+the sequential bound marked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schedule import Schedule
+from repro.core.simulator import memory_profile
+from repro.core.tree import TaskTree
+
+__all__ = ["render_tree", "render_memory_profile"]
+
+
+def render_tree(tree: TaskTree, max_nodes: int = 64, weights: bool = True) -> str:
+    """Box-drawing rendering of the tree (root at the top).
+
+    Nodes beyond ``max_nodes`` (in a breadth-biased traversal) are
+    elided with an ellipsis marker so huge trees stay readable.
+    """
+    lines: list[str] = []
+    budget = max_nodes
+
+    def label(i: int) -> str:
+        if not weights:
+            return str(i)
+        return f"{i} (w={tree.w[i]:g}, f={tree.f[i]:g}, n={tree.sizes[i]:g})"
+
+    def walk(node: int, prefix: str, is_last: bool, is_root: bool) -> None:
+        nonlocal budget
+        if budget <= 0:
+            return
+        budget -= 1
+        if is_root:
+            lines.append(label(node))
+            child_prefix = ""
+        else:
+            connector = "`-- " if is_last else "|-- "
+            lines.append(prefix + connector + label(node))
+            child_prefix = prefix + ("    " if is_last else "|   ")
+        kids = tree.children(node)
+        for k, c in enumerate(kids):
+            if budget <= 0:
+                lines.append(child_prefix + "`-- ...")
+                return
+            walk(c, child_prefix, k == len(kids) - 1, False)
+
+    walk(tree.root, "", True, True)
+    if budget <= 0:
+        lines.append(f"... ({tree.n} nodes total)")
+    return "\n".join(lines)
+
+
+def render_memory_profile(
+    schedule: Schedule,
+    width: int = 70,
+    height: int = 12,
+    reference: float | None = None,
+) -> str:
+    """Area chart of the resident memory over time.
+
+    ``reference`` (e.g. the sequential optimum) is drawn as a dashed
+    line when it falls inside the chart.
+    """
+    times, levels = memory_profile(schedule)
+    span = schedule.makespan
+    if span <= 0:
+        span = 1.0
+    top = float(levels.max()) if levels.size else 1.0
+    if reference is not None:
+        top = max(top, reference)
+    top = max(top, 1e-9)
+    # sample the piecewise-constant profile at column midpoints
+    samples = np.empty(width)
+    for col in range(width):
+        t = (col + 0.5) / width * span
+        k = int(np.searchsorted(times, t, side="right") - 1)
+        samples[col] = levels[k] if k >= 0 else 0.0
+    rows: list[str] = []
+    for r in range(height, 0, -1):
+        threshold = top * (r - 0.5) / height
+        row = []
+        ref_row = (
+            reference is not None
+            and abs(reference - top * r / height) <= top / (2 * height)
+        )
+        for col in range(width):
+            if samples[col] >= threshold:
+                row.append("#")
+            elif ref_row:
+                row.append("-")
+            else:
+                row.append(" ")
+        rows.append(f"{top * r / height:>10.4g} |" + "".join(row))
+    rows.append(" " * 11 + "+" + "-" * width)
+    rows.append(f"{'':11s}0{'':{width - 10}}t={span:<8.4g}")
+    if reference is not None:
+        rows.append(f"reference level (dashes): {reference:g}")
+    rows.append(f"peak: {float(levels.max()) if levels.size else 0:g}")
+    return "\n".join(rows)

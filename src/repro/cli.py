@@ -1,0 +1,295 @@
+"""Command-line interface for regenerating the paper's tables and figures.
+
+Examples
+--------
+::
+
+   python -m repro.cli dataset --scale tiny
+   python -m repro.cli table1 --scale small
+   python -m repro.cli figure --which 6 --scale small
+   python -m repro.cli theory
+   python -m repro.cli memory-cap --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.workloads import build_dataset
+
+    instances = build_dataset(scale=args.scale)
+    print(f"{'tree':<28s} {'nodes':>7s} {'height':>7s} {'leaves':>7s} {'maxdeg':>7s}")
+    for inst in instances:
+        t = inst.tree
+        print(
+            f"{inst.name:<28s} {t.n:>7d} {t.height():>7d} "
+            f"{t.n_leaves():>7d} {t.max_degree():>7d}"
+        )
+    print(f"total: {len(instances)} trees")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        compute_table1_stats,
+        render_table1,
+        run_experiments,
+        save_records,
+        table1_csv,
+    )
+    from repro.workloads import build_dataset
+
+    instances = build_dataset(scale=args.scale)
+    processor_counts = tuple(args.processors)
+    print(
+        f"running {len(instances)} trees x p in {processor_counts} "
+        f"x 4 heuristics ...",
+        file=sys.stderr,
+    )
+    records = run_experiments(instances, processor_counts, progress=args.verbose)
+    stats = compute_table1_stats(records)
+    print(render_table1(stats))
+    if args.output:
+        if args.output.endswith(".json"):
+            save_records(records, args.output)
+        else:
+            with open(args.output, "w") as fh:
+                fh.write(table1_csv(stats) + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.analysis import figure_csv, figure_data, render_figure, run_experiments
+    from repro.workloads import build_dataset
+
+    instances = build_dataset(scale=args.scale)
+    records = run_experiments(instances, tuple(args.processors))
+    data = figure_data(records, args.which)
+    titles = {
+        6: "Figure 6: comparison to lower bounds",
+        7: "Figure 7: comparison to ParSubtrees",
+        8: "Figure 8: comparison to ParInnerFirst",
+    }
+    print(render_figure(data, title=titles[args.which]))
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(figure_csv(data) + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_theory(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core import simulate
+    from repro.parallel import par_deepest_first, par_inner_first, par_subtrees
+    from repro.pebble import (
+        build_gadget,
+        decide_gadget,
+        deepest_first_memory_tree,
+        fork_tree,
+        inapprox_ratio_lower_bound,
+        inapproximability_tree,
+        inner_first_memory_tree,
+        random_yes_instance,
+    )
+    from repro.sequential import liu_optimal_traversal, optimal_postorder
+
+    print("== Theorem 1 / Figure 1: NP-completeness gadget ==")
+    inst = random_yes_instance(2, 12, np.random.default_rng(0))
+    g = build_gadget(inst)
+    sch = decide_gadget(g)
+    sim = simulate(sch)
+    print(
+        f"YES instance: makespan {sim.makespan:g} (bound {g.makespan_bound:g}), "
+        f"peak {sim.peak_memory:g} (bound {g.memory_bound:g})"
+    )
+    print("== Theorem 2 / Figure 2: inapproximability ==")
+    for n in (2, 3, 4):
+        f2 = inapproximability_tree(n, n * n)
+        liu = liu_optimal_traversal(f2.tree)
+        lb = inapprox_ratio_lower_bound(n, n * n, alpha=2.0)
+        print(
+            f"n={n} delta={n * n}: M_opt={liu.peak_memory:g} "
+            f"(paper {f2.optimal_peak_memory:g}), CP={f2.tree.critical_path():g} "
+            f"(paper {f2.optimal_makespan:g}), memory-ratio LB(alpha=2)={lb:.2f}"
+        )
+    print("== Figure 3: ParSubtrees makespan worst case ==")
+    for k in (4, 16, 64):
+        p = 4
+        t = fork_tree(p, k)
+        sim = simulate(par_subtrees(t, p))
+        print(
+            f"p={p} k={k}: ParSubtrees {sim.makespan:g} "
+            f"(paper p(k-1)+2 = {p * (k - 1) + 2}), optimal {k + 1}, "
+            f"ratio {sim.makespan / (k + 1):.2f} -> p"
+        )
+    print("== Figure 4: ParInnerFirst memory blow-up ==")
+    for k in (4, 8, 16):
+        p = 4
+        t = inner_first_memory_tree(p, k)
+        seq = optimal_postorder(t).peak_memory
+        sim = simulate(par_inner_first(t, p))
+        print(
+            f"p={p} k={k}: M_seq={seq:g} (paper p+1={p + 1}), "
+            f"ParInnerFirst {sim.peak_memory:g} "
+            f"(paper (k-1)(p-1)+1 = {(k - 1) * (p - 1) + 1})"
+        )
+    print("== Figure 5: ParDeepestFirst memory blow-up ==")
+    for c in (4, 8, 16):
+        t = deepest_first_memory_tree(c, 6)
+        seq = optimal_postorder(t).peak_memory
+        sim = simulate(par_deepest_first(t, c))
+        print(
+            f"chains={c}: M_seq={seq:g} (paper 3), "
+            f"ParDeepestFirst {sim.peak_memory:g} ~ chains"
+        )
+    return 0
+
+
+def _cmd_shapes(args: argparse.Namespace) -> int:
+    from repro.analysis import render_shape_table, summarize_shapes
+    from repro.workloads import build_dataset
+
+    instances = build_dataset(scale=args.scale)
+    print(f"data set: {len(instances)} assembly trees (scale {args.scale})")
+    print(render_shape_table(summarize_shapes(instances)))
+    return 0
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    from repro.analysis import ParetoPoint, hypervolume, pareto_front
+    from repro.core import memory_lower_bound, simulate
+    from repro.parallel import HEURISTICS, memory_bounded_schedule
+    from repro.workloads import build_dataset
+
+    instances = build_dataset(scale=args.scale)[: args.limit]
+    p = args.processors[0]
+    for inst in instances:
+        tree = inst.tree
+        mseq = memory_lower_bound(tree)
+        points = []
+        for name, fn in HEURISTICS.items():
+            r = simulate(fn(tree, p))
+            points.append(ParetoPoint(r.makespan, r.peak_memory, name))
+        for factor in (1.0, 1.5, 2.0, 3.0):
+            sch = memory_bounded_schedule(tree, p, factor * mseq)
+            r = simulate(sch)
+            points.append(ParetoPoint(r.makespan, r.peak_memory, f"cap x{factor:g}"))
+        front = pareto_front(points)
+        ref = ParetoPoint(
+            max(q.makespan for q in points) * 1.05,
+            max(q.memory for q in points) * 1.05,
+        )
+        print(f"\n{inst.name} (p={p}): front of {len(points)} schedules, "
+              f"hypervolume {hypervolume(points, ref):.4g}")
+        for q in front:
+            print(f"  makespan {q.makespan:>12.5g}  memory {q.memory:>12.5g}  {q.label}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis import run_experiments
+    from repro.analysis.report import build_report
+    from repro.workloads import build_dataset
+
+    instances = build_dataset(scale=args.scale)
+    records = run_experiments(instances, tuple(args.processors))
+    text = build_report(records, instances)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_memory_cap(args: argparse.Namespace) -> int:
+    from repro.core import memory_lower_bound, simulate
+    from repro.parallel import memory_bounded_schedule
+    from repro.workloads import build_dataset
+
+    instances = build_dataset(scale=args.scale)[: args.limit]
+    p = args.processors[0]
+    print(f"{'tree':<28s} {'cap/Mseq':>9s} {'makespan':>12s} {'peak/Mseq':>10s}")
+    for inst in instances:
+        mseq = memory_lower_bound(inst.tree)
+        for factor in (1.0, 1.5, 2.0, 4.0):
+            sch = memory_bounded_schedule(inst.tree, p, cap=factor * mseq)
+            sim = simulate(sch)
+            print(
+                f"{inst.name:<28s} {factor:>9.1f} {sim.makespan:>12.5g} "
+                f"{sim.peak_memory / mseq:>10.3f}"
+            )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro.cli`` / the ``repro-trees`` script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trees",
+        description="Reproduce 'Scheduling tree-shaped task graphs to "
+        "minimize memory and makespan' (IPDPS 2013).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--scale", default="small", choices=("tiny", "small", "medium"))
+        sp.add_argument(
+            "--processors",
+            type=int,
+            nargs="+",
+            default=[2, 4, 8, 16, 32],
+            help="processor counts (paper: 2 4 8 16 32)",
+        )
+        sp.add_argument("--output", default=None, help="write CSV/JSON here")
+        sp.add_argument("--verbose", action="store_true")
+
+    sp = sub.add_parser("dataset", help="list the assembly-tree data set")
+    add_common(sp)
+    sp.set_defaults(func=_cmd_dataset)
+
+    sp = sub.add_parser("table1", help="regenerate Table 1")
+    add_common(sp)
+    sp.set_defaults(func=_cmd_table1)
+
+    sp = sub.add_parser("figure", help="regenerate Figure 6, 7 or 8")
+    add_common(sp)
+    sp.add_argument("--which", type=int, choices=(6, 7, 8), required=True)
+    sp.set_defaults(func=_cmd_figure)
+
+    sp = sub.add_parser("theory", help="verify Figures 1-5 / Theorems 1-2")
+    add_common(sp)
+    sp.set_defaults(func=_cmd_theory)
+
+    sp = sub.add_parser("memory-cap", help="memory-capped scheduling extension")
+    add_common(sp)
+    sp.add_argument("--limit", type=int, default=4, help="number of trees")
+    sp.set_defaults(func=_cmd_memory_cap)
+
+    sp = sub.add_parser("shapes", help="data-set shape statistics vs the paper")
+    add_common(sp)
+    sp.set_defaults(func=_cmd_shapes)
+
+    sp = sub.add_parser("pareto", help="per-tree Pareto fronts over all schedulers")
+    add_common(sp)
+    sp.add_argument("--limit", type=int, default=3, help="number of trees")
+    sp.set_defaults(func=_cmd_pareto)
+
+    sp = sub.add_parser("report", help="generate the EXPERIMENTS.md body")
+    add_common(sp)
+    sp.set_defaults(func=_cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""Lower bounds used throughout the experimental evaluation (Section 6.3).
+
+* **Memory lower bound** -- the peak memory of the best *sequential*
+  traversal. Using more processors can only increase the peak
+  (Section 5: "Employing more processors cannot reduce the amount of
+  memory required"), so any sequential optimum bounds every parallel
+  schedule from below. Like the paper, the default proxy is the optimal
+  *postorder* (optimal in 95.8% of the paper's instances, average gap
+  1%); the exact traversal of Liu is available for small trees.
+
+* **Makespan lower bound** -- ``max(W / p, CP)`` where ``W`` is the total
+  work and ``CP`` the w-weighted critical path: a processor-count bound
+  and a dependence-chain bound.
+"""
+
+from __future__ import annotations
+
+from .tree import TaskTree
+
+__all__ = ["memory_lower_bound", "makespan_lower_bound"]
+
+
+def memory_lower_bound(tree: TaskTree, method: str = "postorder") -> float:
+    """Sequential-memory lower bound for any schedule of ``tree``.
+
+    Parameters
+    ----------
+    tree:
+        the task tree.
+    method:
+        ``"postorder"`` (default) uses Liu's optimal postorder, the
+        paper's choice for the experiments; ``"exact"`` runs Liu's exact
+        optimal-traversal algorithm (O(n^2) worst case, for modest trees).
+    """
+    # Imported lazily: repro.sequential depends on repro.core.
+    from repro.sequential.postorder import optimal_postorder
+    from repro.sequential.liu import liu_optimal_traversal
+
+    if method == "postorder":
+        return optimal_postorder(tree).peak_memory
+    if method == "exact":
+        return liu_optimal_traversal(tree).peak_memory
+    raise ValueError(f"unknown memory bound method: {method!r}")
+
+
+def makespan_lower_bound(tree: TaskTree, p: int) -> float:
+    """``max(total work / p, critical path)`` (Section 6.3, Figure 6)."""
+    if p < 1:
+        raise ValueError("p must be positive")
+    return max(tree.total_work() / p, tree.critical_path())

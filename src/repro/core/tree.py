@@ -1,0 +1,368 @@
+"""Tree-shaped task graph model.
+
+This module implements the application model of Section 3.1 of the paper:
+a rooted *in-tree* of ``n`` tasks where task ``i`` carries
+
+* ``w[i]``    -- processing time of the task,
+* ``sizes[i]``-- size of the *execution file* (the task's program),
+  written :math:`n_i` in the paper,
+* ``f[i]``    -- size of the *output file*, i.e. of the edge from ``i`` to
+  its parent (:math:`f_i` in the paper).
+
+Processing task ``i`` requires memory
+:math:`\\sum_{j \\in Children(i)} f_j + n_i + f_i`; once the task completes,
+its input files and execution file are freed while its output file remains
+resident until the parent completes.
+
+The structure is array-based (``numpy`` integer/float vectors) so that all
+per-node queries are O(1) and whole-tree sweeps are cache-friendly, which is
+what makes the heuristics run at :math:`O(n \\log n)` overall as in the
+paper's C implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["TaskTree", "NO_PARENT"]
+
+#: Sentinel used in ``parent`` arrays for the root node.
+NO_PARENT: int = -1
+
+
+@dataclass(frozen=True)
+class TaskTree:
+    """An in-tree task graph with memory weights and task durations.
+
+    Instances are immutable; all mutating-style operations return new trees.
+
+    Parameters
+    ----------
+    parent:
+        ``parent[i]`` is the parent of node ``i``; the root has
+        ``parent[root] == NO_PARENT`` (-1). Exactly one root is required.
+    w:
+        processing times (non-negative).
+    f:
+        output file sizes, one per node (non-negative). The root's output
+        may be zero (results sent to the outside world).
+    sizes:
+        execution file sizes (:math:`n_i` in the paper, non-negative).
+
+    Notes
+    -----
+    Children lists, the postorder, and subtree aggregates are computed
+    lazily and cached, so constructing a tree is O(n).
+    """
+
+    parent: np.ndarray
+    w: np.ndarray
+    f: np.ndarray
+    sizes: np.ndarray
+    _children: tuple[tuple[int, ...], ...] = field(
+        init=False, repr=False, compare=False, default=None  # type: ignore[assignment]
+    )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        parent = np.ascontiguousarray(np.asarray(self.parent, dtype=np.int64))
+        w = np.ascontiguousarray(np.asarray(self.w, dtype=np.float64))
+        f = np.ascontiguousarray(np.asarray(self.f, dtype=np.float64))
+        sizes = np.ascontiguousarray(np.asarray(self.sizes, dtype=np.float64))
+        n = parent.shape[0]
+        if not (w.shape[0] == f.shape[0] == sizes.shape[0] == n):
+            raise ValueError("parent, w, f, sizes must have the same length")
+        if n == 0:
+            raise ValueError("a task tree must contain at least one task")
+        roots = np.flatnonzero(parent == NO_PARENT)
+        if roots.shape[0] != 1:
+            raise ValueError(f"expected exactly one root, found {roots.shape[0]}")
+        if np.any((parent < NO_PARENT) | (parent >= n)):
+            raise ValueError("parent indices out of range")
+        if np.any(parent == np.arange(n)):
+            raise ValueError("a node cannot be its own parent")
+        if np.any(w < 0) or np.any(f < 0) or np.any(sizes < 0):
+            raise ValueError("weights must be non-negative")
+        object.__setattr__(self, "parent", parent)
+        object.__setattr__(self, "w", w)
+        object.__setattr__(self, "f", f)
+        object.__setattr__(self, "sizes", sizes)
+        children: list[list[int]] = [[] for _ in range(n)]
+        for i in range(n):
+            p = parent[i]
+            if p != NO_PARENT:
+                children[p].append(i)
+        object.__setattr__(
+            self, "_children", tuple(tuple(c) for c in children)
+        )
+        # Reject cycles / forests disguised as trees: a connected structure
+        # with n nodes, n-1 edges and one root is a tree iff every node
+        # reaches the root, which the postorder computation verifies.
+        order = self.postorder()
+        if order.shape[0] != n:
+            raise ValueError("parent structure contains a cycle")
+
+    @classmethod
+    def from_parents(
+        cls,
+        parent: Sequence[int],
+        w: Sequence[float] | float = 1.0,
+        f: Sequence[float] | float = 1.0,
+        sizes: Sequence[float] | float = 0.0,
+    ) -> "TaskTree":
+        """Build a tree from a parent vector, broadcasting scalar weights.
+
+        ``w``, ``f`` and ``sizes`` may each be a scalar (applied to every
+        node) or a per-node sequence.
+        """
+        n = len(parent)
+
+        def expand(x: Sequence[float] | float) -> np.ndarray:
+            if np.isscalar(x):
+                return np.full(n, float(x))  # type: ignore[arg-type]
+            return np.asarray(x, dtype=np.float64)
+
+        return cls(np.asarray(parent, dtype=np.int64), expand(w), expand(f), expand(sizes))
+
+    @classmethod
+    def pebble_game(cls, parent: Sequence[int]) -> "TaskTree":
+        """Build a Pebble Game model tree (Section 4): ``f=1, n=0, w=1``."""
+        return cls.from_parents(parent, w=1.0, f=1.0, sizes=0.0)
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[int, int]],
+        n: int,
+        w: Sequence[float] | float = 1.0,
+        f: Sequence[float] | float = 1.0,
+        sizes: Sequence[float] | float = 0.0,
+    ) -> "TaskTree":
+        """Build a tree from ``(child, parent)`` edges over nodes ``0..n-1``."""
+        parent = np.full(n, NO_PARENT, dtype=np.int64)
+        for c, p in edges:
+            if parent[c] != NO_PARENT:
+                raise ValueError(f"node {c} listed with two parents")
+            parent[c] = p
+        return cls.from_parents(parent, w, f, sizes)
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of tasks in the tree."""
+        return int(self.parent.shape[0])
+
+    def __len__(self) -> int:
+        return self.n
+
+    @property
+    def root(self) -> int:
+        """Index of the root task."""
+        return int(np.flatnonzero(self.parent == NO_PARENT)[0])
+
+    def children(self, i: int) -> tuple[int, ...]:
+        """Children of node ``i`` (empty tuple for leaves)."""
+        return self._children[i]
+
+    def is_leaf(self, i: int) -> bool:
+        """True iff node ``i`` has no children."""
+        return not self._children[i]
+
+    def leaves(self) -> np.ndarray:
+        """Indices of all leaf nodes, ascending."""
+        return np.asarray(
+            [i for i in range(self.n) if not self._children[i]], dtype=np.int64
+        )
+
+    def n_leaves(self) -> int:
+        """Number of leaf nodes."""
+        return sum(1 for i in range(self.n) if not self._children[i])
+
+    def degree(self, i: int) -> int:
+        """Number of children of node ``i``."""
+        return len(self._children[i])
+
+    def max_degree(self) -> int:
+        """Maximum number of children over all nodes."""
+        return max(len(c) for c in self._children)
+
+    # ------------------------------------------------------------------
+    # traversals and aggregates
+    # ------------------------------------------------------------------
+    def postorder(self) -> np.ndarray:
+        """A postorder of the tree (children before parents), iterative.
+
+        The order visits children in index order; it is *a* valid
+        topological order, not the memory-optimal one (see
+        :mod:`repro.sequential.postorder` for that).
+        """
+        n = self.n
+        order = np.empty(n, dtype=np.int64)
+        idx = 0
+        # Iterative DFS with explicit child cursor to avoid recursion limits
+        # on the paper's deep trees (depth up to 70 000).
+        stack: list[tuple[int, int]] = [(self.root, 0)]
+        visited = np.zeros(n, dtype=bool)
+        while stack:
+            node, cursor = stack.pop()
+            if visited[node]:
+                raise ValueError("parent structure contains a cycle")
+            kids = self._children[node]
+            if cursor < len(kids):
+                stack.append((node, cursor + 1))
+                stack.append((kids[cursor], 0))
+            else:
+                visited[node] = True
+                order[idx] = node
+                idx += 1
+                if idx > n:  # pragma: no cover - defensive
+                    raise ValueError("cycle detected")
+        return order[:idx]
+
+    def topological_order(self) -> np.ndarray:
+        """Alias for :meth:`postorder` (any child-before-parent order)."""
+        return self.postorder()
+
+    def depths(self) -> np.ndarray:
+        """Edge-count depth of every node (root has depth 0)."""
+        n = self.n
+        depth = np.zeros(n, dtype=np.int64)
+        for node in reversed(self.postorder()):  # parents before children
+            p = self.parent[node]
+            if p != NO_PARENT:
+                depth[node] = depth[p] + 1
+        return depth
+
+    def height(self) -> int:
+        """Height of the tree in edges (0 for a single node)."""
+        return int(self.depths().max())
+
+    def weighted_depths(self) -> np.ndarray:
+        """w-weighted path length from each node to the root, inclusive.
+
+        This is the *depth* notion used by ParDeepestFirst (Section 5.3):
+        the length includes ``w[i]`` itself, so the deepest node is the
+        start of the critical path.
+        """
+        n = self.n
+        depth = np.zeros(n, dtype=np.float64)
+        for node in reversed(self.postorder()):
+            p = self.parent[node]
+            depth[node] = self.w[node] + (depth[p] if p != NO_PARENT else 0.0)
+        return depth
+
+    def subtree_work(self) -> np.ndarray:
+        """Total processing time of each subtree (``W_i`` in Section 5.1)."""
+        work = self.w.copy()
+        for node in self.postorder():
+            p = self.parent[node]
+            if p != NO_PARENT:
+                work[p] += work[node]
+        return work
+
+    def subtree_sizes(self) -> np.ndarray:
+        """Number of nodes in each subtree (including the subtree root)."""
+        size = np.ones(self.n, dtype=np.int64)
+        for node in self.postorder():
+            p = self.parent[node]
+            if p != NO_PARENT:
+                size[p] += size[node]
+        return size
+
+    def subtree_nodes(self, i: int) -> np.ndarray:
+        """All node indices in the subtree rooted at ``i`` (preorder)."""
+        out: list[int] = []
+        stack = [i]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(self._children[node])
+        return np.asarray(out, dtype=np.int64)
+
+    def critical_path(self) -> float:
+        """Length of the w-weighted critical path (root to deepest leaf)."""
+        return float(self.weighted_depths().max())
+
+    def total_work(self) -> float:
+        """Sum of all processing times (``W`` in the makespan lower bound)."""
+        return float(self.w.sum())
+
+    def input_size(self, i: int) -> float:
+        """Total size of the input files of node ``i``."""
+        return float(sum(self.f[j] for j in self._children[i]))
+
+    def processing_memory(self, i: int) -> float:
+        """Memory needed while node ``i`` executes:
+        :math:`\\sum_{j\\in Children(i)} f_j + n_i + f_i`."""
+        return self.input_size(i) + float(self.sizes[i]) + float(self.f[i])
+
+    # ------------------------------------------------------------------
+    # derived trees
+    # ------------------------------------------------------------------
+    def subtree(self, i: int) -> tuple["TaskTree", np.ndarray]:
+        """Extract the subtree rooted at ``i`` as a standalone tree.
+
+        Returns the new tree and the array mapping new indices to the
+        original node indices.
+        """
+        nodes = self.subtree_nodes(i)
+        remap = {int(old): new for new, old in enumerate(nodes)}
+        parent = np.empty(nodes.shape[0], dtype=np.int64)
+        for new, old in enumerate(nodes):
+            p = self.parent[old]
+            parent[new] = remap[int(p)] if int(old) != int(i) else NO_PARENT
+        return (
+            TaskTree(parent, self.w[nodes], self.f[nodes], self.sizes[nodes]),
+            nodes,
+        )
+
+    def with_weights(
+        self,
+        w: Sequence[float] | None = None,
+        f: Sequence[float] | None = None,
+        sizes: Sequence[float] | None = None,
+    ) -> "TaskTree":
+        """Return a copy with some weight vectors replaced."""
+        return TaskTree(
+            self.parent,
+            self.w if w is None else np.asarray(w, dtype=np.float64),
+            self.f if f is None else np.asarray(f, dtype=np.float64),
+            self.sizes if sizes is None else np.asarray(sizes, dtype=np.float64),
+        )
+
+    def iter_nodes(self) -> Iterator[int]:
+        """Iterate over node indices ``0..n-1``."""
+        return iter(range(self.n))
+
+    # ------------------------------------------------------------------
+    # interoperability
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export as a ``networkx.DiGraph`` with edges child -> parent.
+
+        Node attributes: ``w``, ``f``, ``size``; useful for plotting and
+        cross-checking with graph algorithms.
+        """
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for i in range(self.n):
+            g.add_node(i, w=float(self.w[i]), f=float(self.f[i]), size=float(self.sizes[i]))
+        for i in range(self.n):
+            p = self.parent[i]
+            if p != NO_PARENT:
+                g.add_edge(i, int(p))
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TaskTree(n={self.n}, height={self.height()}, "
+            f"leaves={self.n_leaves()}, W={self.total_work():g})"
+        )

@@ -1,0 +1,98 @@
+"""Elimination tree and factor column counts (symbolic analysis).
+
+The elimination tree of a symmetric matrix ``A`` (with Cholesky factor
+``L``) is defined by ``parent(j) = min{ i > j : L(i,j) != 0 }``. We
+compute it with Liu's ancestor path-compression algorithm in nearly
+O(nnz * alpha) time, and the per-column factor counts
+``mu_j = |L(:, j)|`` (diagonal included) with the row-subtree traversal
+algorithm. Both are the quantities Matlab's ``symbfact`` returns, which
+the paper uses to weight assembly-tree nodes.
+
+References: J. W. H. Liu, "The role of elimination trees in sparse
+factorization", SIAM J. Matrix Anal. Appl., 1990.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["elimination_tree", "column_counts", "etree_heights"]
+
+
+def _lower_rows(a: sp.csr_matrix):
+    """Yield ``(i, below-diagonal column indices of row i)``."""
+    a = sp.csr_matrix(a)
+    indptr, indices = a.indptr, a.indices
+    for i in range(a.shape[0]):
+        row = indices[indptr[i] : indptr[i + 1]]
+        yield i, row[row < i]
+
+
+def elimination_tree(a: sp.spmatrix) -> np.ndarray:
+    """Elimination tree parent vector of a symmetric-pattern matrix.
+
+    ``parent[j]`` is the etree parent of column ``j`` or ``-1`` for
+    roots (the etree is a forest when the matrix is reducible).
+    Only the lower triangle of ``a`` is read.
+    """
+    a = sp.csr_matrix(a)
+    n = a.shape[0]
+    if a.shape[0] != a.shape[1]:
+        raise ValueError("matrix must be square")
+    parent = np.full(n, -1, dtype=np.int64)
+    ancestor = np.full(n, -1, dtype=np.int64)
+    for i, row in _lower_rows(a):
+        for k in row:
+            j = int(k)
+            # Climb with path compression until reaching i's component.
+            while ancestor[j] != -1 and ancestor[j] != i:
+                nxt = int(ancestor[j])
+                ancestor[j] = i
+                j = nxt
+            if ancestor[j] == -1:
+                ancestor[j] = i
+                parent[j] = i
+    return parent
+
+
+def column_counts(a: sp.spmatrix, parent: np.ndarray | None = None) -> np.ndarray:
+    """Factor column counts ``mu_j = |L(:, j)|`` (diagonal included).
+
+    Uses the row-subtree characterisation: ``L(i, j) != 0`` iff ``j`` is
+    on the etree path from some ``k`` with ``A(i, k) != 0, k <= j`` up to
+    ``i``. For each row we walk those paths, marking visited nodes so
+    every column is counted once per row. Worst case O(nnz * height) --
+    the simple ``symbfact`` algorithm, fast enough at our scale and
+    verified against dense symbolic elimination in tests.
+    """
+    a = sp.csr_matrix(a)
+    n = a.shape[0]
+    if parent is None:
+        parent = elimination_tree(a)
+    counts = np.ones(n, dtype=np.int64)  # diagonal entries
+    mark = np.full(n, -1, dtype=np.int64)
+    for i, row in _lower_rows(a):
+        mark[i] = i
+        for k in row:
+            j = int(k)
+            while j != -1 and mark[j] != i:
+                counts[j] += 1
+                mark[j] = i
+                j = int(parent[j])
+    return counts
+
+
+def etree_heights(parent: np.ndarray) -> np.ndarray:
+    """Height of each node in the elimination forest (leaves have 0).
+
+    Computed in one pass over a topological order (children have smaller
+    indices than parents in an etree, by definition).
+    """
+    n = parent.shape[0]
+    height = np.zeros(n, dtype=np.int64)
+    for j in range(n):
+        p = int(parent[j])
+        if p != -1:
+            height[p] = max(height[p], height[j] + 1)
+    return height

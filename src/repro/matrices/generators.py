@@ -1,0 +1,104 @@
+"""Synthetic sparse symmetric matrices -- substitute for the UFL collection.
+
+The paper draws 76 matrices from the University of Florida Sparse Matrix
+Collection (square, symmetric pattern, 20k-2M rows, >= 2.5 nnz/row).
+Offline we generate structurally diverse symmetric patterns at laptop
+scale; what the scheduling experiments consume is only the *assembly
+tree* derived from each pattern, and the generators below cover the same
+qualitative regimes of tree shape:
+
+* :func:`grid2d` / :func:`grid3d` -- discretisation meshes; nested
+  dissection gives wide, balanced assembly trees (the MeTiS regime);
+* :func:`banded` -- band matrices; their elimination trees are chains
+  (the deep-tree regime, depths up to tens of thousands in the paper);
+* :func:`random_symmetric` -- Erdos-Renyi-like patterns, irregular trees;
+* :func:`scale_free` -- power-law degree patterns, producing the
+  huge-degree nodes the paper reports (max degree 175k).
+
+All generators return a ``scipy.sparse.csr_matrix`` containing the
+*pattern* (values are 1.0; only the structure matters for symbolic
+factorization) with a zero-free symmetric structure and full diagonal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["grid2d", "grid3d", "banded", "random_symmetric", "scale_free", "symmetrize"]
+
+
+def symmetrize(a: sp.spmatrix) -> sp.csr_matrix:
+    """Pattern-symmetrize a square sparse matrix and set a full diagonal."""
+    a = sp.csr_matrix(a, copy=True)
+    n = a.shape[0]
+    pattern = a + a.T + sp.eye(n, format="csr")
+    pattern.data[:] = 1.0
+    pattern.eliminate_zeros()
+    return sp.csr_matrix(pattern)
+
+
+def grid2d(k: int) -> sp.csr_matrix:
+    """5-point Laplacian pattern on a ``k x k`` grid (``n = k^2``)."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    eye = sp.identity(k, format="csr")
+    band = sp.diags([1.0, 1.0], [-1, 1], shape=(k, k), format="csr")
+    a = sp.kron(eye, band) + sp.kron(band, eye)
+    return symmetrize(a)
+
+
+def grid3d(k: int) -> sp.csr_matrix:
+    """7-point Laplacian pattern on a ``k x k x k`` grid (``n = k^3``)."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    eye = sp.identity(k, format="csr")
+    band = sp.diags([1.0, 1.0], [-1, 1], shape=(k, k), format="csr")
+    a = (
+        sp.kron(sp.kron(eye, eye), band)
+        + sp.kron(sp.kron(eye, band), eye)
+        + sp.kron(sp.kron(band, eye), eye)
+    )
+    return symmetrize(a)
+
+
+def banded(n: int, bandwidth: int) -> sp.csr_matrix:
+    """Symmetric band pattern with the given half-bandwidth."""
+    if bandwidth < 1 or n < 1:
+        raise ValueError("need n >= 1 and bandwidth >= 1")
+    offsets = list(range(-bandwidth, bandwidth + 1))
+    a = sp.diags([1.0] * len(offsets), offsets, shape=(n, n), format="csr")
+    return symmetrize(a)
+
+
+def random_symmetric(
+    n: int, avg_degree: float = 4.0, rng: np.random.Generator | None = None
+) -> sp.csr_matrix:
+    """Random symmetric pattern with about ``avg_degree`` off-diagonal
+    entries per row (Erdos-Renyi style)."""
+    rng = rng or np.random.default_rng()
+    m = int(n * avg_degree / 2)
+    rows = rng.integers(0, n, size=m)
+    cols = rng.integers(0, n, size=m)
+    keep = rows != cols
+    a = sp.csr_matrix(
+        (np.ones(keep.sum()), (rows[keep], cols[keep])), shape=(n, n)
+    )
+    return symmetrize(a)
+
+
+def scale_free(
+    n: int, attach: int = 2, rng: np.random.Generator | None = None
+) -> sp.csr_matrix:
+    """Power-law pattern via Barabasi-Albert preferential attachment.
+
+    Produces a few very high degree rows -- the regime that creates the
+    paper's maximum node degrees (up to 175 000) in assembly trees.
+    """
+    import networkx as nx
+
+    rng = rng or np.random.default_rng()
+    seed = int(rng.integers(0, 2**31 - 1))
+    g = nx.barabasi_albert_graph(n, attach, seed=seed)
+    a = nx.to_scipy_sparse_array(g, format="csr", dtype=np.float64)
+    return symmetrize(sp.csr_matrix(a))

@@ -1,0 +1,124 @@
+"""Matrix Market I/O: drop-in support for the paper's real data.
+
+The University of Florida Sparse Matrix Collection distributes matrices
+in the Matrix Market exchange format (``.mtx``). This module provides a
+self-contained reader/writer for the coordinate format so that a user
+with access to the collection can feed the *actual* paper matrices into
+the pipeline; offline, the test-suite round-trips the synthetic
+collection through it.
+
+Only the features needed for symbolic analysis are implemented:
+coordinate ``real`` / ``integer`` / ``pattern`` fields with ``general``
+or ``symmetric`` symmetry. Values are irrelevant to the assembly-tree
+construction (only the pattern matters), so they are read but may be
+discarded by the caller.
+"""
+
+from __future__ import annotations
+
+import gzip
+import pathlib
+from typing import IO
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["read_matrix_market", "write_matrix_market", "MatrixMarketError"]
+
+
+class MatrixMarketError(ValueError):
+    """Raised on malformed Matrix Market input."""
+
+
+_SUPPORTED_FIELDS = {"real", "integer", "pattern"}
+_SUPPORTED_SYMMETRY = {"general", "symmetric"}
+
+
+def _open(path: str | pathlib.Path, mode: str) -> IO:
+    path = pathlib.Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def read_matrix_market(path: str | pathlib.Path) -> sp.csr_matrix:
+    """Read a coordinate Matrix Market file (optionally gzipped).
+
+    Symmetric storage is expanded to a full pattern. One-based indices
+    are converted; duplicate entries are summed, as the format
+    specifies.
+    """
+    with _open(path, "r") as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise MatrixMarketError("missing %%MatrixMarket header")
+        parts = header.strip().split()
+        if len(parts) < 5:
+            raise MatrixMarketError(f"malformed header: {header.strip()!r}")
+        _, obj, fmt, field, symmetry = parts[:5]
+        if obj.lower() != "matrix" or fmt.lower() != "coordinate":
+            raise MatrixMarketError("only coordinate matrices are supported")
+        field = field.lower()
+        symmetry = symmetry.lower()
+        if field not in _SUPPORTED_FIELDS:
+            raise MatrixMarketError(f"unsupported field {field!r}")
+        if symmetry not in _SUPPORTED_SYMMETRY:
+            raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        try:
+            n_rows, n_cols, nnz = (int(x) for x in line.split())
+        except ValueError as exc:
+            raise MatrixMarketError(f"malformed size line: {line.strip()!r}") from exc
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.ones(nnz, dtype=np.float64)
+        for k in range(nnz):
+            line = fh.readline()
+            if not line:
+                raise MatrixMarketError(f"expected {nnz} entries, got {k}")
+            parts = line.split()
+            rows[k] = int(parts[0]) - 1
+            cols[k] = int(parts[1]) - 1
+            if field != "pattern":
+                if len(parts) < 3:
+                    raise MatrixMarketError(f"missing value on line: {line.strip()!r}")
+                vals[k] = float(parts[2])
+    if np.any(rows < 0) or np.any(rows >= n_rows) or np.any(cols < 0) or np.any(cols >= n_cols):
+        raise MatrixMarketError("index out of bounds")
+    a = sp.coo_matrix((vals, (rows, cols)), shape=(n_rows, n_cols))
+    if symmetry == "symmetric":
+        off_diag = rows != cols
+        mirror = sp.coo_matrix(
+            (vals[off_diag], (cols[off_diag], rows[off_diag])), shape=(n_rows, n_cols)
+        )
+        a = a + mirror
+    return sp.csr_matrix(a)
+
+
+def write_matrix_market(
+    path: str | pathlib.Path, a: sp.spmatrix, symmetric: bool = False
+) -> None:
+    """Write a sparse matrix in coordinate Matrix Market format.
+
+    With ``symmetric=True`` only the lower triangle is stored (the
+    matrix must be pattern-symmetric) and the header declares
+    ``symmetric`` storage, matching how the UFL collection ships its
+    matrices.
+    """
+    coo = sp.coo_matrix(a)
+    if symmetric:
+        if (coo != coo.T).nnz != 0:
+            raise MatrixMarketError("matrix is not symmetric")
+        keep = coo.row >= coo.col
+        coo = sp.coo_matrix(
+            (coo.data[keep], (coo.row[keep], coo.col[keep])), shape=coo.shape
+        )
+    with _open(path, "w") as fh:
+        sym = "symmetric" if symmetric else "general"
+        fh.write(f"%%MatrixMarket matrix coordinate real {sym}\n")
+        fh.write(f"% written by repro (IPDPS 2013 reproduction)\n")
+        fh.write(f"{coo.shape[0]} {coo.shape[1]} {coo.nnz}\n")
+        for r, c, v in zip(coo.row, coo.col, coo.data):
+            fh.write(f"{r + 1} {c + 1} {v:.17g}\n")

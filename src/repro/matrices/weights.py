@@ -1,0 +1,47 @@
+"""The paper's weight model for assembly-tree nodes (Section 6.2).
+
+For an assembly node amalgamating ``eta`` elimination-tree nodes whose
+highest (shallowest) node has factor column count ``mu``:
+
+* execution-file size  ``n_i = eta^2 + 2*eta*(mu - 1)``,
+* processing time      ``w_i = 2/3*eta^3 + eta^2*(mu-1) + eta*(mu-1)^2``,
+* output-file size     ``f_i = (mu - 1)^2``.
+
+The processing-time terms model one Gaussian elimination of the
+``eta x eta`` pivot block, two triangular multiplications with the
+``eta x (mu-1)`` panel, and one ``(mu-1) x eta`` by ``eta x (mu-1)``
+product -- the dense kernel of a multifrontal factorization step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["node_weights", "assembly_weights"]
+
+
+def node_weights(eta: int, mu: int) -> tuple[float, float, float]:
+    """Weights ``(n_i, w_i, f_i)`` of a single assembly node."""
+    if eta < 1 or mu < 1:
+        raise ValueError("eta and mu must be at least 1")
+    eta_f = float(eta)
+    m1 = float(mu - 1)
+    n_i = eta_f**2 + 2.0 * eta_f * m1
+    w_i = (2.0 / 3.0) * eta_f**3 + eta_f**2 * m1 + eta_f * m1**2
+    f_i = m1**2
+    return n_i, w_i, f_i
+
+
+def assembly_weights(
+    eta: np.ndarray, mu: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised :func:`node_weights` over all assembly nodes."""
+    eta = np.asarray(eta, dtype=np.float64)
+    mu = np.asarray(mu, dtype=np.float64)
+    if np.any(eta < 1) or np.any(mu < 1):
+        raise ValueError("eta and mu must be at least 1")
+    m1 = mu - 1.0
+    n_i = eta**2 + 2.0 * eta * m1
+    w_i = (2.0 / 3.0) * eta**3 + eta**2 * m1 + eta * m1**2
+    f_i = m1**2
+    return n_i, w_i, f_i

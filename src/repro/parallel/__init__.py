@@ -1,0 +1,33 @@
+"""Parallel scheduling heuristics (Section 5 of the paper)."""
+
+from .list_scheduling import list_schedule, postorder_ranks
+from .split_subtrees import SplitResult, split_subtrees
+from .par_subtrees import par_subtrees, par_subtrees_optim
+from .par_inner_first import par_inner_first
+from .par_deepest_first import par_deepest_first
+from .memory_bounded import MemoryCapError, memory_bounded_schedule
+from .memory_aware_subtrees import par_subtrees_memory_aware, predicted_parallel_memory
+from .heuristics import HEURISTICS, HeuristicResult, evaluate, run_all
+from .variants import VARIANTS, par_inner_first_naive_order, par_hop_deepest_first
+
+__all__ = [
+    "list_schedule",
+    "postorder_ranks",
+    "SplitResult",
+    "split_subtrees",
+    "par_subtrees",
+    "par_subtrees_optim",
+    "par_inner_first",
+    "par_deepest_first",
+    "MemoryCapError",
+    "memory_bounded_schedule",
+    "par_subtrees_memory_aware",
+    "predicted_parallel_memory",
+    "HEURISTICS",
+    "HeuristicResult",
+    "evaluate",
+    "run_all",
+    "VARIANTS",
+    "par_inner_first_naive_order",
+    "par_hop_deepest_first",
+]

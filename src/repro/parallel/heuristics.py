@@ -1,0 +1,55 @@
+"""Registry of the paper's heuristics, for the experiment harness.
+
+Each entry maps the paper's heuristic name to a callable
+``(tree, p) -> Schedule``. The ``evaluate`` helper runs one heuristic
+and returns the (makespan, peak memory) pair measured by the simulator,
+which is what every table and figure of Section 6 is built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.schedule import Schedule
+from repro.core.simulator import simulate
+from repro.core.tree import TaskTree
+
+from .par_subtrees import par_subtrees, par_subtrees_optim
+from .par_inner_first import par_inner_first
+from .par_deepest_first import par_deepest_first
+
+__all__ = ["HEURISTICS", "HeuristicResult", "evaluate", "run_all"]
+
+#: The four heuristics of Section 5, in the paper's presentation order.
+HEURISTICS: dict[str, Callable[[TaskTree, int], Schedule]] = {
+    "ParSubtrees": par_subtrees,
+    "ParSubtreesOptim": par_subtrees_optim,
+    "ParInnerFirst": par_inner_first,
+    "ParDeepestFirst": par_deepest_first,
+}
+
+
+@dataclass(frozen=True)
+class HeuristicResult:
+    """Measured performance of one heuristic on one scenario."""
+
+    name: str
+    makespan: float
+    peak_memory: float
+
+
+def evaluate(name: str, tree: TaskTree, p: int, validate: bool = False) -> HeuristicResult:
+    """Run heuristic ``name`` on ``(tree, p)`` and measure it.
+
+    ``validate=True`` re-checks schedule validity (slower; the test
+    suite exercises this path, the benchmark harness skips it).
+    """
+    schedule = HEURISTICS[name](tree, p)
+    result = simulate(schedule, validate=validate)
+    return HeuristicResult(name=name, makespan=result.makespan, peak_memory=result.peak_memory)
+
+
+def run_all(tree: TaskTree, p: int, validate: bool = False) -> dict[str, HeuristicResult]:
+    """Run every heuristic of the paper on one scenario."""
+    return {name: evaluate(name, tree, p, validate=validate) for name in HEURISTICS}

@@ -1,0 +1,102 @@
+"""Memory-aware ParSubtrees: spend parallelism only while it fits.
+
+A second answer to the paper's future-work question ("take as input a
+cap on the memory usage"), complementary to the list-scheduling variant
+of :mod:`repro.parallel.memory_bounded`: keep ParSubtrees's two-phase
+structure but choose *how many* subtrees run concurrently from the
+memory budget.
+
+The scheduler tries concurrency levels ``q = p, p-1, ..., 2`` -- running
+the ``q`` heaviest subtrees of the Algorithm 2 splitting in parallel and
+the rest sequentially -- and returns the first schedule whose *measured*
+peak fits under the cap (the cheap sum-of-peaks predictor
+:func:`predicted_parallel_memory` prunes hopeless levels first). With
+``q = 1`` it degenerates to the memory-optimal sequential traversal, so
+any ``cap >= M_seq`` is feasible; below that it raises
+:class:`~repro.parallel.memory_bounded.MemoryCapError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schedule import Schedule
+from repro.core.simulator import peak_memory
+from repro.core.tree import TaskTree
+from .memory_bounded import MemoryCapError
+from .par_subtrees import (
+    SequentialOrder,
+    _default_order,
+    _pack_schedule,
+    _restricted_order,
+)
+from .split_subtrees import split_subtrees
+
+__all__ = ["par_subtrees_memory_aware", "predicted_parallel_memory"]
+
+
+def predicted_parallel_memory(tree: TaskTree, roots: list[int], q: int) -> float:
+    """Optimistic phase-1 peak predictor for ``q``-way concurrency.
+
+    The ``q`` concurrently active subtrees need at least the sum of the
+    ``q`` *smallest* sequential subtree peaks; any concurrency level
+    whose prediction already exceeds the cap cannot fit and is pruned
+    without building the schedule.
+    """
+    from repro.sequential.postorder import optimal_postorder
+
+    peaks = []
+    for r in roots:
+        sub, _ = tree.subtree(r)
+        peaks.append(optimal_postorder(sub).peak_memory)
+    peaks.sort()
+    return float(sum(peaks[:q]))
+
+
+def _build(tree, p, q, roots, work, sequential_order):
+    chosen = sorted(roots, key=lambda r: float(work[r]), reverse=True)[:q]
+    keep = np.zeros(tree.n, dtype=bool)
+    per_proc: list[list[np.ndarray]] = [[] for _ in range(p)]
+    for k, r in enumerate(chosen):
+        sub, nodes = tree.subtree(r)
+        sub_order = sequential_order(sub)
+        per_proc[k].append(nodes[sub_order])
+        keep[nodes] = True
+    full_order = sequential_order(tree)
+    seq_order = _restricted_order(full_order, ~keep)
+    return _pack_schedule(tree, p, per_proc, seq_order)
+
+
+def par_subtrees_memory_aware(
+    tree: TaskTree,
+    p: int,
+    cap: float,
+    sequential_order: SequentialOrder = _default_order,
+) -> Schedule:
+    """ParSubtrees constrained to a memory budget (see module docstring).
+
+    Raises
+    ------
+    MemoryCapError
+        when even the fully sequential fallback exceeds ``cap`` (i.e.
+        ``cap`` is below the sequential optimum of ``sequential_order``).
+    """
+    if cap <= 0:
+        raise ValueError("cap must be positive")
+    split = split_subtrees(tree, p)
+    roots = list(split.frontier_roots)
+    work = tree.subtree_work()
+    for q in range(min(p, len(roots)), 1, -1):
+        if predicted_parallel_memory(tree, roots, q) > cap:
+            continue
+        schedule = _build(tree, p, q, roots, work, sequential_order)
+        if peak_memory(schedule) <= cap + 1e-9:
+            return schedule
+    order = sequential_order(tree)
+    schedule = Schedule.sequential(tree, order, p)
+    peak = peak_memory(schedule)
+    if peak > cap + 1e-9:
+        raise MemoryCapError(
+            f"cap {cap:g} below the sequential optimum {peak:g}: infeasible"
+        )
+    return schedule

@@ -1,0 +1,55 @@
+"""``ParInnerFirst`` (Section 5.2): parallel postorder by list scheduling.
+
+The parallel postorder rules of the paper:
+
+1. if an inner node is ready (all input files in memory), execute it;
+2. otherwise process the leaf closest to the previously selected leaf.
+
+Realised with the generic event-based list scheduler and the priority
+order: (a) inner nodes before leaves, inner nodes by non-increasing
+depth; (b) leaves in the order of a reference sequential postorder ``O``
+(the memory-optimal one, so that rule 2's leaf locality is inherited).
+
+With one processor this reproduces ``O`` exactly (tested); with ``p``
+processors it is a list schedule, hence a :math:`(2-1/p)`-approximation
+for the makespan; its memory usage is *unbounded* relative to the
+sequential optimum (Figure 4, reproduced in the theory benchmarks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schedule import Schedule
+from repro.core.tree import TaskTree
+from .list_scheduling import list_schedule, postorder_ranks
+
+__all__ = ["par_inner_first"]
+
+
+def par_inner_first(
+    tree: TaskTree,
+    p: int,
+    order: np.ndarray | None = None,
+) -> Schedule:
+    """Schedule ``tree`` on ``p`` processors with ParInnerFirst.
+
+    Parameters
+    ----------
+    tree, p:
+        the instance.
+    order:
+        the reference sequential order ``O`` (default: Liu's optimal
+        postorder, as in the paper).
+    """
+    ranks = postorder_ranks(tree, order)
+    depth = tree.depths()
+
+    def priority(i: int) -> tuple:
+        if tree.is_leaf(i):
+            # Leaves come after every inner node, in O's order.
+            return (1, int(ranks[i]), i)
+        # Inner nodes by non-increasing depth.
+        return (0, -int(depth[i]), int(ranks[i]))
+
+    return list_schedule(tree, p, priority)

@@ -1,0 +1,150 @@
+"""``ParSubtrees`` and ``ParSubtreesOptim`` (Section 5.1, Algorithm 1).
+
+ParSubtrees splits the tree into subtrees with
+:func:`~repro.parallel.split_subtrees.split_subtrees`, processes the (up
+to) ``p`` heaviest subtrees concurrently -- each with the sequential
+memory-optimal traversal -- and finally processes all remaining nodes
+sequentially, again in a memory-minimizing order.
+
+Guarantees proved in the paper and property-tested here:
+
+* **memory**: peak at most :math:`(p+1) \\cdot M_{seq}` (each parallel
+  subtree needs at most the sequential memory of the whole tree; the
+  sequential phase adds at most ``p`` retained subtree outputs);
+* **makespan**: a ``p``-approximation, tight on fork trees (Figure 3).
+
+``ParSubtreesOptim`` allocates *all* produced subtrees over the ``p``
+processors in LPT fashion (heaviest first onto the least-loaded
+processor), which improves the makespan at the price of a (slightly)
+higher memory usage -- exactly the trade-off reported in Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.schedule import Schedule
+from repro.core.tree import TaskTree
+from .split_subtrees import SplitResult, split_subtrees
+
+__all__ = ["par_subtrees", "par_subtrees_optim"]
+
+#: A sequential-order provider: maps a tree to a topological order.
+SequentialOrder = Callable[[TaskTree], np.ndarray]
+
+
+def _default_order(tree: TaskTree) -> np.ndarray:
+    """The paper's sequential reference: Liu's optimal postorder."""
+    from repro.sequential.postorder import optimal_postorder
+
+    return optimal_postorder(tree).order
+
+
+def _restricted_order(full_order: np.ndarray, keep: np.ndarray) -> np.ndarray:
+    """Subsequence of ``full_order`` restricted to the ``keep`` mask.
+
+    A restriction of a topological order is a topological order of the
+    induced sub-forest, and restricting the memory-optimal order keeps
+    its locality, which is why both phases use it.
+    """
+    return np.asarray([i for i in full_order if keep[i]], dtype=np.int64)
+
+
+def _pack_schedule(
+    tree: TaskTree,
+    p: int,
+    per_proc_orders: list[list[np.ndarray]],
+    seq_nodes_order: np.ndarray,
+) -> Schedule:
+    """Assemble the two-phase schedule.
+
+    Phase 1: processor ``q`` executes its subtree orders back-to-back.
+    Phase 2: the remaining nodes run on processor 0 starting when every
+    subtree has completed (the cost model of Algorithm 2).
+    """
+    start = np.empty(tree.n, dtype=np.float64)
+    proc = np.empty(tree.n, dtype=np.int64)
+    phase1_end = 0.0
+    for q, orders in enumerate(per_proc_orders):
+        t = 0.0
+        for order in orders:
+            for node in order:
+                start[node] = t
+                proc[node] = q
+                t += float(tree.w[node])
+        phase1_end = max(phase1_end, t)
+    t = phase1_end
+    for node in seq_nodes_order:
+        start[node] = t
+        proc[node] = 0
+        t += float(tree.w[node])
+    return Schedule(tree, start, proc, p)
+
+
+def par_subtrees(
+    tree: TaskTree,
+    p: int,
+    sequential_order: SequentialOrder = _default_order,
+    split: SplitResult | None = None,
+) -> Schedule:
+    """Algorithm 1: ParSubtrees.
+
+    Parameters
+    ----------
+    tree, p:
+        the instance.
+    sequential_order:
+        the memory-minimizing sequential algorithm used for each subtree
+        and for the remainder (default: optimal postorder, as in the
+        paper's experiments; pass Liu's exact algorithm for the O(n^2)
+        variant).
+    split:
+        an optional precomputed splitting (shared with
+        :func:`par_subtrees_optim` in the benchmark harness).
+    """
+    if split is None:
+        split = split_subtrees(tree, p)
+    full_order = sequential_order(tree)
+    keep = np.zeros(tree.n, dtype=bool)
+    per_proc: list[list[np.ndarray]] = [[] for _ in range(p)]
+    for q, r in enumerate(split.parallel_roots):
+        sub, nodes = tree.subtree(r)
+        sub_order = sequential_order(sub)
+        per_proc[q].append(nodes[sub_order])
+        keep[nodes] = True
+    seq_order = _restricted_order(full_order, ~keep)
+    return _pack_schedule(tree, p, per_proc, seq_order)
+
+
+def par_subtrees_optim(
+    tree: TaskTree,
+    p: int,
+    sequential_order: SequentialOrder = _default_order,
+    split: SplitResult | None = None,
+) -> Schedule:
+    """ParSubtreesOptim: allocate *all* subtrees to processors (LPT).
+
+    Subtrees are sorted by non-increasing work and greedily assigned to
+    the processor with the smallest total load; each processor runs its
+    subtrees back-to-back (each internally in memory-optimal order). The
+    split nodes are processed sequentially afterwards.
+    """
+    if split is None:
+        split = split_subtrees(tree, p)
+    full_order = sequential_order(tree)
+    work = tree.subtree_work()
+    roots = sorted(split.frontier_roots, key=lambda r: float(work[r]), reverse=True)
+    loads = np.zeros(p, dtype=np.float64)
+    keep = np.zeros(tree.n, dtype=bool)
+    per_proc: list[list[np.ndarray]] = [[] for _ in range(p)]
+    for r in roots:
+        q = int(np.argmin(loads))
+        sub, nodes = tree.subtree(r)
+        sub_order = sequential_order(sub)
+        per_proc[q].append(nodes[sub_order])
+        loads[q] += float(work[r])
+        keep[nodes] = True
+    seq_order = _restricted_order(full_order, ~keep)
+    return _pack_schedule(tree, p, per_proc, seq_order)

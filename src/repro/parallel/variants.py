@@ -1,0 +1,60 @@
+"""Heuristic variants for ablation studies.
+
+Section 5 makes two low-key design remarks that deserve measurement:
+
+* ParInnerFirst's leaf order "needs to be a sequential postorder. It
+  makes heuristic sense that this postorder is an *optimal* sequential
+  postorder" -- :func:`par_inner_first_naive_order` drops the optimality
+  and uses the arbitrary (index-order) postorder instead;
+* ParDeepestFirst's depth is "the *w-weighted* length of the path" --
+  :func:`par_hop_deepest_first` uses plain hop counts instead, degrading
+  the critical-path awareness on heterogeneous trees.
+
+Both variants reuse the same list-scheduling engine, so any performance
+difference is attributable to the ablated choice alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schedule import Schedule
+from repro.core.tree import TaskTree
+from .list_scheduling import list_schedule, postorder_ranks
+
+__all__ = ["par_inner_first_naive_order", "par_hop_deepest_first", "VARIANTS"]
+
+
+def par_inner_first_naive_order(tree: TaskTree, p: int) -> Schedule:
+    """ParInnerFirst with a naive (index-order) postorder as ``O``."""
+    ranks = postorder_ranks(tree, tree.postorder())
+    depth = tree.depths()
+
+    def priority(i: int) -> tuple:
+        if tree.is_leaf(i):
+            return (1, int(ranks[i]), i)
+        return (0, -int(depth[i]), int(ranks[i]))
+
+    return list_schedule(tree, p, priority)
+
+
+def par_hop_deepest_first(tree: TaskTree, p: int) -> Schedule:
+    """ParDeepestFirst with hop-count depth instead of w-weighted depth."""
+    ranks = postorder_ranks(tree)
+    depth = tree.depths()
+
+    def priority(i: int) -> tuple:
+        return (
+            -int(depth[i]) - (0 if tree.is_leaf(i) else 0),
+            1 if tree.is_leaf(i) else 0,
+            int(ranks[i]),
+        )
+
+    return list_schedule(tree, p, priority)
+
+
+#: variant name -> (base heuristic name, variant callable)
+VARIANTS = {
+    "ParInnerFirst/naiveO": ("ParInnerFirst", par_inner_first_naive_order),
+    "ParDeepestFirst/hops": ("ParDeepestFirst", par_hop_deepest_first),
+}

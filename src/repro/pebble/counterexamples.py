@@ -1,0 +1,193 @@
+"""Constructive trees of the paper's negative results (Figures 2-5).
+
+Each builder returns the exact tree of the corresponding figure in the
+Pebble-Game model, plus closed-form values of the quantities the paper
+derives for it. The theory benchmarks re-measure those quantities with
+the actual heuristics and the simulator.
+
+* :func:`inapproximability_tree` -- Figure 2 / Theorem 2: no algorithm is
+  simultaneously an :math:`\\alpha`-approximation for makespan and a
+  :math:`\\beta`-approximation for peak memory.
+* :func:`fork_tree` -- Figure 3: ParSubtrees is (at best) a
+  ``p``-approximation for makespan.
+* :func:`inner_first_memory_tree` -- Figure 4: ParInnerFirst's memory is
+  unbounded relative to the sequential optimum.
+* :func:`deepest_first_memory_tree` -- Figure 5: ParDeepestFirst's memory
+  grows with the number of chains while the sequential optimum stays 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tree import TaskTree, NO_PARENT
+
+__all__ = [
+    "Fig2Tree",
+    "inapproximability_tree",
+    "inapprox_ratio_lower_bound",
+    "fork_tree",
+    "inner_first_memory_tree",
+    "deepest_first_memory_tree",
+]
+
+
+# ----------------------------------------------------------------------
+# Figure 2 -- Theorem 2 (inapproximability)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig2Tree:
+    """The Figure 2 tree and the paper's closed-form facts about it.
+
+    Attributes
+    ----------
+    tree:
+        the Pebble-Game tree: ``n`` identical subtrees below the root.
+    n_subtrees, delta:
+        the construction parameters ``n`` and ``delta``.
+    optimal_makespan:
+        critical-path length ``delta + 2`` (achievable with unboundedly
+        many processors).
+    optimal_peak_memory:
+        ``n + delta`` (proof of Theorem 2).
+    descendants_per_subtree:
+        ``(delta^2 + 5*delta - 4) / 2`` descendants of each ``cp_1^i``.
+    """
+
+    tree: TaskTree
+    n_subtrees: int
+    delta: int
+    optimal_makespan: float
+    optimal_peak_memory: float
+    descendants_per_subtree: int
+
+
+def inapproximability_tree(n: int, delta: int) -> Fig2Tree:
+    """Build the Figure 2 tree with ``n`` subtrees and parameter ``delta``.
+
+    Each subtree hangs below the root as a chain
+    ``cp_1 <- cp_2 <- ... <- cp_{delta-1}``; node ``cp_j`` additionally
+    has the child ``d_j`` which has ``delta - j + 1`` leaf children; the
+    last chain node ``cp_{delta-1}`` also has the child ``b_delta`` whose
+    single child is the leaf ``b_{delta+1}``.
+    """
+    if delta < 2:
+        raise ValueError("delta must be at least 2")
+    parents: list[int] = [NO_PARENT]  # 0 = root
+    for _ in range(n):
+        # chain cp_1 .. cp_{delta-1}
+        cp = []
+        for j in range(1, delta):
+            parent = 0 if j == 1 else cp[-1]
+            parents.append(parent)
+            cp.append(len(parents) - 1)
+        for j in range(1, delta):
+            d = len(parents)
+            parents.append(cp[j - 1])  # d_j
+            for _ in range(delta - j + 1):
+                parents.append(d)  # leaves a^{i,j}
+        parents.append(cp[-1])  # b_delta
+        b_delta = len(parents) - 1
+        parents.append(b_delta)  # b_{delta+1}
+    tree = TaskTree.pebble_game(parents)
+    return Fig2Tree(
+        tree=tree,
+        n_subtrees=n,
+        delta=delta,
+        optimal_makespan=float(delta + 2),
+        optimal_peak_memory=float(n + delta),
+        descendants_per_subtree=(delta * delta + 5 * delta - 4) // 2,
+    )
+
+
+def inapprox_ratio_lower_bound(n: int, delta: int, alpha: float) -> float:
+    """The paper's lower bound on the memory ratio of any
+    ``alpha``-approximation (proof of Theorem 2):
+
+    .. math::
+
+       lb = \\frac{n(\\delta^2 + 5\\delta - 6)}
+                  {(\\alpha(\\delta+2) - 2)(n + \\delta)} .
+
+    With ``delta = n^2`` this diverges as ``n`` grows, so no
+    ``(alpha, beta)`` pair can exist.
+    """
+    return (n * (delta**2 + 5 * delta - 6)) / ((alpha * (delta + 2) - 2) * (n + delta))
+
+
+# ----------------------------------------------------------------------
+# Figure 3 -- ParSubtrees makespan worst case
+# ----------------------------------------------------------------------
+def fork_tree(p: int, k: int) -> TaskTree:
+    """Figure 3: a root with ``p * k`` unit-weight leaves.
+
+    The optimal makespan is ``k + 1``; ParSubtrees achieves
+    ``p(k-1) + 2``, so its ratio tends to ``p`` as ``k`` grows.
+    """
+    n_leaves = p * k
+    parents = [NO_PARENT] + [0] * n_leaves
+    return TaskTree.pebble_game(parents)
+
+
+# ----------------------------------------------------------------------
+# Figure 4 -- ParInnerFirst memory blow-up
+# ----------------------------------------------------------------------
+def inner_first_memory_tree(p: int, k: int) -> TaskTree:
+    """Figure 4: ``k - 1`` join nodes in a chain, each with ``p - 1``
+    leaves, the last one continued by a chain so that the longest chain
+    has length ``2k``.
+
+    The sequential optimum (deepest-first) needs ``p + 1``; with ``p``
+    processors ParInnerFirst has processed every leaf before the first
+    join can execute, leaving ``(k-1)(p-1) + 1`` files in memory.
+    """
+    if k < 2 or p < 2:
+        raise ValueError("need k >= 2 and p >= 2")
+    parents: list[int] = [NO_PARENT]  # 0 = root (the topmost join's parent)
+    prev = 0
+    for _ in range(k - 1):  # join nodes, top to bottom
+        parents.append(prev)
+        join = len(parents) - 1
+        for _ in range(p - 1):
+            parents.append(join)  # the join's leaves
+        prev = join
+    # tail chain below the last join: longest root-to-leaf chain = 2k
+    # (root + (k-1) joins + k+... nodes); length counted in nodes.
+    for _ in range(2 * k - (k - 1) - 1):
+        parents.append(prev)
+        prev = len(parents) - 1
+    return TaskTree.pebble_game(parents)
+
+
+# ----------------------------------------------------------------------
+# Figure 5 -- ParDeepestFirst memory blow-up
+# ----------------------------------------------------------------------
+def deepest_first_memory_tree(n_chains: int, chain_length: int) -> TaskTree:
+    """Figure 5: a comb of equally-deep long chains.
+
+    A spine ``s_1 (root) <- s_2 <- ... <- s_c`` with ``c = n_chains``;
+    spine node ``s_i`` carries a hanging chain sized so that every
+    chain's bottom leaf sits at the same depth
+    ``L = n_chains + chain_length``. The optimal sequential traversal
+    (deepest-first) needs exactly 3 units of memory -- process the inner
+    spine subtree (1 retained file), then the local chain (peak
+    ``1 + 2``), then the spine node (2 inputs + 1 output) -- whereas
+    ParDeepestFirst sees all chain leaves at the deepest level, advances
+    every chain in lockstep and keeps about ``n_chains`` files resident.
+    """
+    if n_chains < 2:
+        raise ValueError("need at least two chains")
+    if chain_length < 1:
+        raise ValueError("chain_length must be >= 1")
+    depth_target = n_chains + chain_length
+    parents: list[int] = [NO_PARENT]
+    spine = [0]
+    for _ in range(n_chains - 1):
+        parents.append(spine[-1])
+        spine.append(len(parents) - 1)
+    for i, node in enumerate(spine):  # hanging chain below spine node s_{i+1}
+        prev = node
+        for _ in range(depth_target - (i + 1)):
+            parents.append(prev)
+            prev = len(parents) - 1
+    return TaskTree.pebble_game(parents)

@@ -1,0 +1,144 @@
+"""Exact bi-objective solver for the Pebble-Game model (tiny instances).
+
+The paper proves BiObjectiveParallelTreeScheduling NP-complete, so no
+polynomial algorithm exists -- but on toy trees an exhaustive search is
+affordable and gives the *exact* Pareto front of (makespan, peak memory)
+points, something the paper could not report. The test suite uses it to
+measure the heuristics' true optimality gaps, and to decide the
+scheduling question of Definition 1 directly.
+
+State space: the search is over *step-synchronous* schedules (integer
+start times; all running tasks advance together) -- the class every
+scheduler in this library produces on unit-weight trees, and the class
+the paper's own proofs reason about. A state is the set of finished
+tasks; each step picks at most ``p`` ready tasks. Breadth-first search
+over steps yields the minimum step count per memory bound, and a sweep
+over bounds the full front. Exponential in ``n``; guarded to small
+trees.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.schedule import Schedule
+from repro.core.tree import TaskTree, NO_PARENT
+
+__all__ = ["exact_pareto_front", "decide_bi_objective", "EXACT_MAX_NODES"]
+
+#: Hard node-count guard for the exponential search.
+EXACT_MAX_NODES = 14
+
+
+def _check_pebble(tree: TaskTree) -> None:
+    if (
+        np.any(tree.w != 1)
+        or np.any(tree.f != 1)
+        or np.any(tree.sizes != 0)
+    ):
+        raise ValueError("exact solver requires the Pebble Game model")
+    if tree.n > EXACT_MAX_NODES:
+        raise ValueError(f"exact solver limited to {EXACT_MAX_NODES} nodes")
+
+
+def _resident(tree: TaskTree, finished: frozenset[int]) -> frozenset[int]:
+    """Outputs resident after `finished` completed: finished tasks whose
+    parent has not finished."""
+    return frozenset(
+        i
+        for i in finished
+        if tree.parent[i] == NO_PARENT or int(tree.parent[i]) not in finished
+    )
+
+
+def _ready(tree: TaskTree, finished: frozenset[int]) -> list[int]:
+    return [
+        i
+        for i in range(tree.n)
+        if i not in finished
+        and all(c in finished for c in tree.children(i))
+    ]
+
+
+def _search_min_steps(tree: TaskTree, p: int, memory_bound: float) -> list[list[int]] | None:
+    """Minimum number of steps to finish under the memory bound, as the
+    list of per-step task groups, or None if infeasible."""
+    start: frozenset[int] = frozenset()
+    frontier: dict[frozenset[int], list[list[int]]] = {start: []}
+    seen = {start}
+    while frontier:
+        nxt: dict[frozenset[int], list[list[int]]] = {}
+        for finished, steps in frontier.items():
+            ready = _ready(tree, finished)
+            resident = _resident(tree, finished)
+            for k in range(1, min(p, len(ready)) + 1):
+                for group in combinations(ready, k):
+                    # transient memory: resident outputs + new outputs
+                    transient = len(resident | set(group))
+                    if transient > memory_bound + 1e-9:
+                        continue
+                    new_finished = frozenset(finished | set(group))
+                    if new_finished in seen:
+                        continue
+                    if len(new_finished) == tree.n:
+                        return steps + [list(group)]
+                    if new_finished not in nxt:
+                        nxt[new_finished] = steps + [list(group)]
+        seen.update(nxt)
+        frontier = nxt
+    return None
+
+
+def _schedule_from_steps(tree: TaskTree, p: int, steps: list[list[int]]) -> Schedule:
+    start = np.empty(tree.n, dtype=np.float64)
+    proc = np.empty(tree.n, dtype=np.int64)
+    for t, group in enumerate(steps):
+        for q, node in enumerate(group):
+            start[node] = float(t)
+            proc[node] = q
+    return Schedule(tree, start, proc, p)
+
+
+def decide_bi_objective(
+    tree: TaskTree, p: int, memory_bound: float, makespan_bound: float
+) -> Schedule | None:
+    """Decide Definition 1's question exactly (Pebble Game model).
+
+    Returns a witness schedule with peak <= ``memory_bound`` and
+    makespan <= ``makespan_bound``, or None if none exists.
+    """
+    _check_pebble(tree)
+    steps = _search_min_steps(tree, p, memory_bound)
+    if steps is None or len(steps) > makespan_bound + 1e-9:
+        return None
+    return _schedule_from_steps(tree, p, steps)
+
+
+def exact_pareto_front(tree: TaskTree, p: int) -> list[tuple[float, float, Schedule]]:
+    """The exact Pareto front of (makespan, peak memory) pairs.
+
+    Sweeps the memory bound from the absolute floor (the largest single
+    working set) to ``n`` (everything resident) and records the minimum
+    achievable makespan at each level, keeping the non-dominated pairs.
+    """
+    _check_pebble(tree)
+    from repro.core.simulator import peak_memory
+
+    floor = max(tree.degree(i) + 1 for i in range(tree.n))
+    candidates: list[tuple[float, float, Schedule]] = []
+    for bound in range(tree.n, floor - 1, -1):
+        steps = _search_min_steps(tree, p, float(bound))
+        if steps is None:
+            break  # feasibility is monotone in the bound
+        schedule = _schedule_from_steps(tree, p, steps)
+        # measure the *actual* peak, which may be below the bound
+        candidates.append((float(len(steps)), peak_memory(schedule), schedule))
+    # keep the non-dominated pairs: sort by (makespan, memory) and sweep
+    # for strictly decreasing memory.
+    front: list[tuple[float, float, Schedule]] = []
+    for mk, mem, sch in sorted(candidates, key=lambda x: (x[0], x[1])):
+        if not front or mem < front[-1][1] - 1e-9:
+            front.append((mk, mem, sch))
+    return front

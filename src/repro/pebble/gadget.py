@@ -1,0 +1,145 @@
+"""The NP-completeness gadget of Theorem 1 (Figure 1).
+
+From a 3-Partition instance (``3m`` values ``a_i``, target ``B``) the
+reduction builds a Pebble-Game tree: a root with ``3m`` children ``N_i``,
+where ``N_i`` has ``3m * a_i`` leaf children. The scheduling question --
+is there a schedule on ``p = 3mB`` processors with peak memory at most
+``B_mem = 3mB + 3m`` and makespan at most ``B_Cmax = 2m + 1`` -- is a YES
+exactly when the 3-Partition instance is a YES.
+
+This module builds the gadget, derives the schedule of the forward
+direction of the proof from a partition, and decides the scheduling
+question by solving the underlying 3-Partition (the backward direction
+of the proof shows the two are equivalent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.schedule import Schedule
+from repro.core.tree import TaskTree, NO_PARENT
+from .three_partition import ThreePartitionInstance, solve_three_partition
+
+__all__ = ["PebbleGadget", "build_gadget", "schedule_from_partition", "decide_gadget"]
+
+
+@dataclass(frozen=True)
+class PebbleGadget:
+    """The reduction's tree together with its scheduling bounds.
+
+    Attributes
+    ----------
+    tree:
+        the Pebble-Game task tree of Figure 1.
+    instance:
+        the source 3-Partition instance.
+    p:
+        number of processors of the question (``3mB``).
+    memory_bound:
+        ``B_mem = 3mB + 3m``.
+    makespan_bound:
+        ``B_Cmax = 2m + 1``.
+    inner:
+        node index of ``N_i`` for each value ``a_i``.
+    leaves_of:
+        leaf node indices below each ``N_i``.
+    """
+
+    tree: TaskTree
+    instance: ThreePartitionInstance
+    p: int
+    memory_bound: float
+    makespan_bound: float
+    inner: tuple[int, ...]
+    leaves_of: tuple[tuple[int, ...], ...]
+
+    @property
+    def root(self) -> int:
+        """Index of the gadget's root node."""
+        return self.tree.root
+
+
+def build_gadget(instance: ThreePartitionInstance) -> PebbleGadget:
+    """Build the Figure 1 tree for a 3-Partition instance."""
+    m = instance.m
+    B = instance.target
+    three_m = 3 * m
+    # Node layout: 0 = root; 1..3m = the N_i; leaves afterwards.
+    parents: list[int] = [NO_PARENT]
+    inner: list[int] = []
+    leaves_of: list[tuple[int, ...]] = []
+    for _ in range(three_m):
+        parents.append(0)
+        inner.append(len(parents) - 1)
+    for i, a in enumerate(instance.values):
+        first = len(parents)
+        for _ in range(three_m * a):
+            parents.append(inner[i])
+        leaves_of.append(tuple(range(first, len(parents))))
+    tree = TaskTree.pebble_game(parents)
+    return PebbleGadget(
+        tree=tree,
+        instance=instance,
+        p=three_m * B,
+        memory_bound=float(three_m * B + three_m),
+        makespan_bound=float(2 * m + 1),
+        inner=tuple(inner),
+        leaves_of=tuple(leaves_of),
+    )
+
+
+def schedule_from_partition(
+    gadget: PebbleGadget, partition: list[tuple[int, int, int]]
+) -> Schedule:
+    """The forward-direction schedule of Theorem 1.
+
+    Given a partition ``S_1..S_m`` (triples of value indices), build the
+    step schedule of the proof: at step ``2n+1`` process all ``3mB``
+    leaves of the triple ``S_{n+1}``; at step ``2n+2`` process its three
+    ``N`` nodes; at step ``2m+1`` process the root. The resulting
+    schedule has makespan exactly ``B_Cmax`` and peak memory exactly
+    ``B_mem`` (asserted in tests via the simulator).
+    """
+    tree = gadget.tree
+    n = tree.n
+    covered = [i for triple in partition for i in triple]
+    if sorted(covered) != list(range(len(gadget.instance.values))):
+        raise ValueError("partition must cover every value index exactly once")
+    B = gadget.instance.target
+    for triple in partition:
+        if sum(gadget.instance.values[i] for i in triple) != B:
+            raise ValueError(f"triple {triple} does not sum to B={B}")
+    start = np.empty(n, dtype=np.float64)
+    proc = np.empty(n, dtype=np.int64)
+    for step, triple in enumerate(partition):
+        t_leaves = float(2 * step)  # step 2n+1 in 1-based step numbering
+        q = 0
+        for idx in triple:
+            for leaf in gadget.leaves_of[idx]:
+                start[leaf] = t_leaves
+                proc[leaf] = q
+                q += 1
+        if q != gadget.p:
+            raise ValueError(f"triple {triple} does not cover the {gadget.p} processors")
+        for k, idx in enumerate(triple):
+            start[gadget.inner[idx]] = t_leaves + 1.0
+            proc[gadget.inner[idx]] = k
+    start[gadget.root] = float(2 * len(partition))
+    proc[gadget.root] = 0
+    return Schedule(tree, start, proc, gadget.p)
+
+
+def decide_gadget(gadget: PebbleGadget) -> Schedule | None:
+    """Decide the BiObjectiveParallelTreeScheduling question of the gadget.
+
+    Theorem 1 shows the question is equivalent to the source 3-Partition
+    instance, so the decision runs the exact 3-Partition solver and, on a
+    YES, materialises the witness schedule.
+    """
+    partition = solve_three_partition(gadget.instance)
+    if partition is None:
+        return None
+    return schedule_from_partition(gadget, partition)

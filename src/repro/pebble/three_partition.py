@@ -1,0 +1,104 @@
+"""3-Partition instances: the source problem of the NP-completeness proof.
+
+The reduction of Theorem 1 maps a 3-Partition instance -- ``3m`` integers
+``a_i`` with ``sum(a) = m*B`` and ``B/4 < a_i < B/2`` -- to a
+tree-scheduling instance. This module provides the instance type, a
+generator of YES instances, and an exact (exponential) solver used to
+drive both sides of the reduction in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+__all__ = ["ThreePartitionInstance", "solve_three_partition", "random_yes_instance"]
+
+
+@dataclass(frozen=True)
+class ThreePartitionInstance:
+    """A (restricted) 3-Partition instance.
+
+    ``values`` are the ``3m`` integers; ``target`` is ``B``. The
+    constructor checks the strong-NP-completeness restriction
+    ``B/4 < a_i < B/2`` and ``sum = m*B``, which the reduction requires
+    (it forces every subset summing to ``B`` to have exactly 3 elements).
+    """
+
+    values: tuple[int, ...]
+    target: int
+
+    def __post_init__(self) -> None:
+        if len(self.values) % 3 != 0 or not self.values:
+            raise ValueError("need 3m values")
+        m = len(self.values) // 3
+        if sum(self.values) != m * self.target:
+            raise ValueError("values must sum to m*B")
+        for a in self.values:
+            if not (self.target / 4 < a < self.target / 2):
+                raise ValueError(f"value {a} violates B/4 < a < B/2 (B={self.target})")
+
+    @property
+    def m(self) -> int:
+        """Number of required subsets."""
+        return len(self.values) // 3
+
+
+def solve_three_partition(
+    instance: ThreePartitionInstance,
+) -> list[tuple[int, int, int]] | None:
+    """Exact solver: return index triples partitioning the values into
+    subsets of sum ``B``, or None when the instance is a NO instance.
+
+    Backtracking over triples containing the smallest unassigned index;
+    exponential, fine for the small instances used in tests/benchmarks.
+    """
+    values = instance.values
+    B = instance.target
+    n = len(values)
+
+    def backtrack(unassigned: frozenset[int]) -> list[tuple[int, int, int]] | None:
+        if not unassigned:
+            return []
+        first = min(unassigned)
+        rest = sorted(unassigned - {first})
+        for j, k in combinations(rest, 2):
+            if values[first] + values[j] + values[k] == B:
+                sub = backtrack(unassigned - {first, j, k})
+                if sub is not None:
+                    return [(first, j, k)] + sub
+        return None
+
+    return backtrack(frozenset(range(n)))
+
+
+def random_yes_instance(
+    m: int, B: int, rng: np.random.Generator | None = None, max_tries: int = 10_000
+) -> ThreePartitionInstance:
+    """Generate a random YES instance with ``m`` triples of sum ``B``.
+
+    Each triple is drawn by picking two values in the open interval
+    ``(B/4, B/2)`` whose complement also lies in the interval.
+    """
+    rng = rng or np.random.default_rng()
+    lo = B // 4 + 1
+    hi = (B - 1) // 2  # largest integer strictly below B/2
+    if B % 4 == 0:
+        lo = B // 4 + 1
+    if lo > hi:
+        raise ValueError(f"no integers strictly between B/4 and B/2 for B={B}")
+    values: list[int] = []
+    for _ in range(m):
+        for _ in range(max_tries):
+            x = int(rng.integers(lo, hi + 1))
+            y = int(rng.integers(lo, hi + 1))
+            z = B - x - y
+            if lo <= z <= hi:
+                values.extend((x, y, z))
+                break
+        else:  # pragma: no cover - generator exhaustion
+            raise RuntimeError("could not sample a YES triple")
+    perm = rng.permutation(len(values))
+    return ThreePartitionInstance(tuple(int(values[i]) for i in perm), B)

@@ -1,0 +1,38 @@
+"""Sequential (one-processor) memory-optimal traversal algorithms."""
+
+from .traversal import (
+    TraversalResult,
+    traversal_peak_memory,
+    traversal_profile,
+    check_topological,
+)
+from .postorder import optimal_postorder, postorder_peaks, natural_postorder
+from .liu import liu_optimal_traversal, hill_valley_segments, Segment
+from .bruteforce import best_postorder_bruteforce, best_traversal_bruteforce
+from .reductions import (
+    OutTree,
+    out_tree_to_in_tree,
+    out_tree_peak_memory,
+    reverse_schedule,
+    schedule_out_tree,
+)
+
+__all__ = [
+    "TraversalResult",
+    "traversal_peak_memory",
+    "traversal_profile",
+    "check_topological",
+    "optimal_postorder",
+    "postorder_peaks",
+    "natural_postorder",
+    "liu_optimal_traversal",
+    "hill_valley_segments",
+    "Segment",
+    "best_postorder_bruteforce",
+    "best_traversal_bruteforce",
+    "OutTree",
+    "out_tree_to_in_tree",
+    "out_tree_peak_memory",
+    "reverse_schedule",
+    "schedule_out_tree",
+]

@@ -1,0 +1,102 @@
+"""Liu's memory-optimal postorder traversal (Liu, 1986).
+
+Among all *postorder* traversals (each subtree is processed entirely
+before moving to a sibling), the minimum peak memory is achieved by
+processing the children of every node in non-increasing
+:math:`M_j - f_j`, where :math:`M_j` is the optimal postorder peak of the
+subtree rooted at child ``j`` and :math:`f_j` its output size.
+
+The recurrence for the peak of node ``i`` with children
+:math:`c_1, \\dots, c_k` in that order is
+
+.. math::
+
+   M_i = \\max\\Bigl(\\max_k \\bigl(\\textstyle\\sum_{l<k} f_{c_l} + M_{c_k}\\bigr),\\;
+                    \\sum_j f_{c_j} + n_i + f_i\\Bigr).
+
+This is the algorithm the paper uses as its sequential reference
+(Section 6.1): it is optimal over general traversals in 95.8% of their
+instances with an average gap of 1%, and it runs in :math:`O(n \\log n)`.
+
+All computations here are iterative (no recursion) so that the deep
+trees of the experimental data set (depths up to tens of thousands) are
+handled without hitting Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tree import TaskTree, NO_PARENT
+from .traversal import TraversalResult
+
+__all__ = ["optimal_postorder", "postorder_peaks", "natural_postorder"]
+
+
+def postorder_peaks(tree: TaskTree) -> np.ndarray:
+    """Optimal postorder peak memory ``M_i`` of every subtree.
+
+    ``M_i`` is computed bottom-up with the recurrence above; the value at
+    the root is the optimal postorder peak of the whole tree.
+    """
+    n = tree.n
+    peaks = np.zeros(n, dtype=np.float64)
+    for i in tree.postorder():
+        i = int(i)
+        kids = tree.children(i)
+        if not kids:
+            peaks[i] = tree.sizes[i] + tree.f[i]
+            continue
+        ordered = sorted(kids, key=lambda j: peaks[j] - tree.f[j], reverse=True)
+        acc = 0.0
+        best = 0.0
+        for j in ordered:
+            best = max(best, acc + peaks[j])
+            acc += tree.f[j]
+        best = max(best, acc + tree.sizes[i] + tree.f[i])
+        peaks[i] = best
+    return peaks
+
+
+def optimal_postorder(tree: TaskTree) -> TraversalResult:
+    """Memory-optimal postorder traversal of the whole tree.
+
+    Returns the traversal (children of every node visited in
+    non-increasing ``M_j - f_j``) together with its peak memory, which by
+    construction equals ``postorder_peaks(tree)[root]``.
+    """
+    peaks = postorder_peaks(tree)
+    n = tree.n
+    order = np.empty(n, dtype=np.int64)
+    idx = 0
+    # DFS that expands children in sorted order; emits postorder.
+    root = tree.root
+    sorted_children: dict[int, list[int]] = {}
+    stack: list[tuple[int, int]] = [(root, 0)]
+    while stack:
+        node, cursor = stack.pop()
+        if node not in sorted_children:
+            sorted_children[node] = sorted(
+                tree.children(node), key=lambda j: peaks[j] - tree.f[j], reverse=True
+            )
+        kids = sorted_children[node]
+        if cursor < len(kids):
+            stack.append((node, cursor + 1))
+            stack.append((kids[cursor], 0))
+        else:
+            del sorted_children[node]
+            order[idx] = node
+            idx += 1
+    return TraversalResult(order=order, peak_memory=float(peaks[tree.root]))
+
+
+def natural_postorder(tree: TaskTree) -> TraversalResult:
+    """The naive postorder (children in index order) with its peak.
+
+    Used as an ablation baseline: the gap between this and
+    :func:`optimal_postorder` shows how much the child ordering matters.
+    """
+    from .traversal import traversal_peak_memory
+
+    order = tree.postorder()
+    return TraversalResult(order=order, peak_memory=traversal_peak_memory(tree, order))

@@ -1,0 +1,151 @@
+"""Out-tree <-> in-tree reductions (Section 1 of the paper).
+
+The paper studies in-trees (data flows towards the root) and notes that
+out-trees are "absolutely equivalent ... a solution for an in-tree can
+be transformed into a solution for the corresponding out-tree by just
+reversing the arrow of time". This module makes that equivalence
+executable:
+
+* an :class:`OutTree` type where each task reads ONE input file (from
+  its parent) and produces one file per child;
+* the reduction :func:`out_tree_to_in_tree` mapping an out-tree to the
+  reversed in-tree with the same memory semantics;
+* :func:`reverse_schedule` implementing the time-reversal of a schedule,
+  with the property (tested) that makespan is preserved and the peak
+  memory of the reversed schedule on the reversed tree equals the
+  original peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.schedule import Schedule
+from repro.core.tree import TaskTree, NO_PARENT
+
+__all__ = ["OutTree", "out_tree_to_in_tree", "reverse_schedule", "schedule_out_tree"]
+
+
+@dataclass(frozen=True)
+class OutTree:
+    """An out-tree task graph: data flows from the root towards leaves.
+
+    Task ``i`` consumes the file ``g[i]`` produced for it by its parent
+    (the root reads an external input of size ``g[root]``, possibly 0),
+    runs for ``w[i]`` with program size ``sizes[i]``, and produces one
+    file of size ``g[j]`` for every child ``j``.
+    """
+
+    parent: np.ndarray
+    w: np.ndarray
+    g: np.ndarray
+    sizes: np.ndarray
+
+    def __post_init__(self) -> None:
+        parent = np.asarray(self.parent, dtype=np.int64)
+        object.__setattr__(self, "parent", parent)
+        object.__setattr__(self, "w", np.asarray(self.w, dtype=np.float64))
+        object.__setattr__(self, "g", np.asarray(self.g, dtype=np.float64))
+        object.__setattr__(self, "sizes", np.asarray(self.sizes, dtype=np.float64))
+        if np.sum(parent == NO_PARENT) != 1:
+            raise ValueError("out-tree needs exactly one root")
+
+    @property
+    def n(self) -> int:
+        """Number of tasks."""
+        return int(self.parent.shape[0])
+
+
+def out_tree_to_in_tree(out_tree: OutTree) -> TaskTree:
+    """The time-reversal reduction: same structure, same file sizes.
+
+    In the reversed execution, the file task ``i`` *read* in the
+    out-tree (``g[i]``, produced by its parent) becomes the file it
+    *writes* for its parent in the in-tree. Programs and durations are
+    unchanged. Memory profiles of corresponding schedules coincide up to
+    reversal of time, so peak memory is preserved (tested property).
+    """
+    return TaskTree(
+        parent=out_tree.parent,
+        w=out_tree.w,
+        f=out_tree.g,
+        sizes=out_tree.sizes,
+    )
+
+
+def reverse_schedule(schedule: Schedule) -> Schedule:
+    """Reverse the arrow of time of a schedule.
+
+    Task ``i`` running in ``[s_i, s_i + w_i)`` is mapped to
+    ``[C - s_i - w_i, C - s_i)`` where ``C`` is the makespan, on the
+    same processor. On the reversed tree this turns a valid in-tree
+    schedule into a valid out-tree execution and vice versa.
+    """
+    makespan = schedule.makespan
+    new_start = makespan - schedule.start - schedule.tree.w
+    return Schedule(schedule.tree, new_start, schedule.proc, schedule.p)
+
+
+def out_tree_peak_memory(out_tree: OutTree, schedule: Schedule) -> float:
+    """Peak memory of an out-tree execution.
+
+    Out-tree semantics mirror the in-tree rules under time reversal: the
+    file ``g[j]`` for child ``j`` is allocated when the parent *starts*
+    (the parent produces one file per child during its execution) and
+    freed when child ``j`` *completes*; programs are resident during
+    execution; the root's external input is resident from time 0 until
+    the root completes.
+    """
+    start = schedule.start
+    end = schedule.end
+    events: list[tuple[float, int, float]] = []  # (time, phase, delta)
+    n = out_tree.n
+    children: list[list[int]] = [[] for _ in range(n)]
+    root = -1
+    for i in range(n):
+        p = int(out_tree.parent[i])
+        if p == NO_PARENT:
+            root = i
+        else:
+            children[p].append(i)
+    for i in range(n):
+        # program
+        events.append((float(start[i]), 1, float(out_tree.sizes[i])))
+        events.append((float(end[i]), 0, -float(out_tree.sizes[i])))
+        # the files this task produces for its children
+        for j in children[i]:
+            events.append((float(start[i]), 1, float(out_tree.g[j])))
+            events.append((float(end[j]), 0, -float(out_tree.g[j])))
+    # the root's external input file
+    events.append((0.0, 1, float(out_tree.g[root])))
+    events.append((float(end[root]), 0, -float(out_tree.g[root])))
+    events.sort(key=lambda e: (e[0], e[1]))
+    peak = 0.0
+    mem = 0.0
+    k = 0
+    while k < len(events):
+        t = events[k][0]
+        while k < len(events) and events[k][0] == t:
+            mem += events[k][2]
+            k += 1
+        peak = max(peak, mem)
+    return peak
+
+
+def schedule_out_tree(
+    out_tree: OutTree, p: int, heuristic=None
+) -> tuple[Schedule, TaskTree]:
+    """Schedule an out-tree via the in-tree reduction.
+
+    Runs ``heuristic`` (default ParSubtrees) on the reversed in-tree and
+    reverses the resulting schedule back. Returns the (out-tree-time)
+    schedule together with the reduced in-tree on which memory and
+    validity are evaluated.
+    """
+    if heuristic is None:
+        from repro.parallel.par_subtrees import par_subtrees as heuristic
+    in_tree = out_tree_to_in_tree(out_tree)
+    in_schedule = heuristic(in_tree, p)
+    return reverse_schedule(in_schedule), in_tree

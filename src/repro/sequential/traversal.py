@@ -1,0 +1,99 @@
+"""Sequential traversal evaluation: peak memory of a topological order.
+
+Executing a tree on one processor in order :math:`\\sigma` produces the
+memory profile of Section 3.1: before task ``i`` runs, the outputs of all
+completed-but-unconsumed tasks are resident; running ``i`` additionally
+needs ``n_i + f_i``; completing ``i`` frees ``n_i`` and the outputs of its
+children.
+
+This evaluation is the single source of truth used to compare traversal
+algorithms; the event-sweep simulator reproduces it exactly for
+one-processor schedules (cross-checked in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.tree import TaskTree
+
+__all__ = ["TraversalResult", "traversal_peak_memory", "traversal_profile", "check_topological"]
+
+
+@dataclass(frozen=True)
+class TraversalResult:
+    """A sequential traversal and its peak memory.
+
+    Attributes
+    ----------
+    order:
+        the tasks in execution order (a topological order of the tree).
+    peak_memory:
+        the peak resident memory of executing ``order`` sequentially.
+    """
+
+    order: np.ndarray
+    peak_memory: float
+
+    def __iter__(self):
+        return iter((self.order, self.peak_memory))
+
+
+def check_topological(tree: TaskTree, order: Sequence[int]) -> None:
+    """Raise ``ValueError`` unless ``order`` is a permutation of the tasks
+    in which every child precedes its parent."""
+    order = np.asarray(order, dtype=np.int64)
+    if order.shape[0] != tree.n or np.unique(order).shape[0] != tree.n:
+        raise ValueError("order must be a permutation of all tasks")
+    position = np.empty(tree.n, dtype=np.int64)
+    position[order] = np.arange(tree.n)
+    for i in range(tree.n):
+        for j in tree.children(i):
+            if position[j] > position[i]:
+                raise ValueError(f"child {j} scheduled after parent {i}")
+
+
+def traversal_profile(
+    tree: TaskTree, order: Iterable[int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-task memory profile of a sequential traversal.
+
+    Returns ``(during, after)`` aligned with ``order``: ``during[k]`` is
+    the memory while the k-th task runs and ``after[k]`` the resident
+    memory once it completed (its inputs and program freed, its output
+    kept).
+    """
+    order = np.asarray(list(order), dtype=np.int64)
+    m = order.shape[0]
+    during = np.empty(m, dtype=np.float64)
+    after = np.empty(m, dtype=np.float64)
+    mem = 0.0
+    for k, node in enumerate(order):
+        node = int(node)
+        inputs = tree.input_size(node)
+        during[k] = mem + tree.sizes[node] + tree.f[node]
+        mem = mem + tree.f[node] - inputs
+        after[k] = mem
+    return during, after
+
+
+def traversal_peak_memory(tree: TaskTree, order: Iterable[int], check: bool = False) -> float:
+    """Peak memory of executing ``order`` on one processor.
+
+    Parameters
+    ----------
+    tree:
+        the task tree.
+    order:
+        a topological order of the whole tree.
+    check:
+        when True, validate that ``order`` is topological first.
+    """
+    order = list(order)
+    if check:
+        check_topological(tree, order)
+    during, _ = traversal_profile(tree, order)
+    return float(during.max()) if during.shape[0] else 0.0

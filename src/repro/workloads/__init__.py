@@ -1,0 +1,28 @@
+"""Workload generation: synthetic random trees and the paper-analog data set."""
+
+from .synthetic import (
+    random_attachment_tree,
+    deep_tree,
+    flat_tree,
+    caterpillar,
+    complete_kary_tree,
+    random_weighted_tree,
+)
+from .dataset import TreeInstance, build_dataset, PROCESSOR_COUNTS, AMALGAMATIONS
+from .trees_io import save_tree, load_tree, TreeFormatError
+
+__all__ = [
+    "random_attachment_tree",
+    "deep_tree",
+    "flat_tree",
+    "caterpillar",
+    "complete_kary_tree",
+    "random_weighted_tree",
+    "TreeInstance",
+    "build_dataset",
+    "PROCESSOR_COUNTS",
+    "AMALGAMATIONS",
+    "save_tree",
+    "load_tree",
+    "TreeFormatError",
+]

@@ -1,0 +1,108 @@
+"""Synthetic random trees, independent of the matrix pipeline.
+
+Used by the property-based tests and the ablation benchmarks to explore
+tree-shape regimes the matrix collection may not reach: uniformly random
+attachment, depth-biased (chain-like), width-biased (flat), caterpillars,
+complete k-ary trees, and Pebble-Game unit-weight variants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tree import TaskTree, NO_PARENT
+
+__all__ = [
+    "random_attachment_tree",
+    "deep_tree",
+    "flat_tree",
+    "caterpillar",
+    "complete_kary_tree",
+    "random_weighted_tree",
+]
+
+
+def random_attachment_tree(
+    n: int, rng: np.random.Generator | None = None, bias: float = 0.0
+) -> np.ndarray:
+    """Random recursive tree parent vector on ``n`` nodes (root = 0).
+
+    ``bias`` interpolates the attachment preference: 0 picks a uniform
+    existing node (logarithmic depth), positive values prefer recent
+    nodes (deeper trees), negative values prefer old nodes (flatter).
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    rng = rng or np.random.default_rng()
+    parent = np.full(n, NO_PARENT, dtype=np.int64)
+    for i in range(1, n):
+        if bias == 0.0:
+            parent[i] = int(rng.integers(0, i))
+        else:
+            weights = np.arange(1, i + 1, dtype=np.float64) ** bias
+            weights /= weights.sum()
+            parent[i] = int(rng.choice(i, p=weights))
+    return parent
+
+
+def deep_tree(n: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Chain-biased random tree (depth ~ n / log n)."""
+    return random_attachment_tree(n, rng, bias=8.0)
+
+
+def flat_tree(n: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Width-biased random tree (most nodes near the root)."""
+    return random_attachment_tree(n, rng, bias=-8.0)
+
+
+def caterpillar(spine: int, legs: int) -> np.ndarray:
+    """A spine of ``spine`` nodes, each with ``legs`` leaf children."""
+    if spine < 1 or legs < 0:
+        raise ValueError("need spine >= 1 and legs >= 0")
+    parents: list[int] = [NO_PARENT]
+    prev = 0
+    for s in range(spine):
+        if s > 0:
+            parents.append(prev)
+            prev = len(parents) - 1
+        for _ in range(legs):
+            parents.append(prev)
+    return np.asarray(parents, dtype=np.int64)
+
+
+def complete_kary_tree(height: int, k: int) -> np.ndarray:
+    """Complete ``k``-ary tree of the given height (height 0 = one node)."""
+    if height < 0 or k < 1:
+        raise ValueError("need height >= 0 and k >= 1")
+    parents: list[int] = [NO_PARENT]
+    frontier = [0]
+    for _ in range(height):
+        nxt = []
+        for node in frontier:
+            for _ in range(k):
+                parents.append(node)
+                nxt.append(len(parents) - 1)
+        frontier = nxt
+    return np.asarray(parents, dtype=np.int64)
+
+
+def random_weighted_tree(
+    n: int,
+    rng: np.random.Generator | None = None,
+    bias: float = 0.0,
+    max_w: int = 10,
+    max_f: int = 10,
+    max_size: int = 5,
+) -> TaskTree:
+    """A random tree with integer weights drawn uniformly.
+
+    The workhorse of the hypothesis-style randomised tests: every weight
+    regime (including zero execution files, the paper's Pebble-Game
+    case) is reachable.
+    """
+    rng = rng or np.random.default_rng()
+    parent = random_attachment_tree(n, rng, bias)
+    w = rng.integers(1, max_w + 1, n).astype(np.float64)
+    f = rng.integers(1, max_f + 1, n).astype(np.float64)
+    sizes = rng.integers(0, max_size + 1, n).astype(np.float64)
+    return TaskTree(parent, w, f, sizes)

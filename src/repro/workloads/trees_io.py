@@ -1,0 +1,96 @@
+"""Task-tree serialization: a plain-text exchange format.
+
+The paper's authors published their assembly trees online; this module
+defines a compatible-in-spirit plain-text format so trees generated here
+can be saved, shared, and reloaded (and real published trees, once
+converted, can be scheduled directly):
+
+.. code-block:: text
+
+   # repro tree format v1
+   # columns: node parent w f size
+   n 5
+   0 -1 3.0 0.0 1.0
+   1 0 2.0 3.0 0.0
+   ...
+
+Node ids are 0-based; the root has parent ``-1``. Comment lines start
+with ``#`` and are ignored.
+"""
+
+from __future__ import annotations
+
+import gzip
+import pathlib
+from typing import IO
+
+import numpy as np
+
+from repro.core.tree import TaskTree
+
+__all__ = ["save_tree", "load_tree", "TreeFormatError"]
+
+
+class TreeFormatError(ValueError):
+    """Raised on malformed tree files."""
+
+
+def _open(path: str | pathlib.Path, mode: str) -> IO:
+    path = pathlib.Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def save_tree(path: str | pathlib.Path, tree: TaskTree) -> None:
+    """Write a tree in the v1 plain-text format (gzip if ``.gz``)."""
+    with _open(path, "w") as fh:
+        fh.write("# repro tree format v1\n")
+        fh.write("# columns: node parent w f size\n")
+        fh.write(f"n {tree.n}\n")
+        for i in range(tree.n):
+            fh.write(
+                f"{i} {int(tree.parent[i])} {tree.w[i]:.17g} "
+                f"{tree.f[i]:.17g} {tree.sizes[i]:.17g}\n"
+            )
+
+
+def load_tree(path: str | pathlib.Path) -> TaskTree:
+    """Read a tree written by :func:`save_tree`."""
+    with _open(path, "r") as fh:
+        n = None
+        parent = w = f = sizes = None
+        seen = 0
+        for raw in fh:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line.startswith("n "):
+                if n is not None:
+                    raise TreeFormatError("duplicate size line")
+                n = int(line.split()[1])
+                if n < 1:
+                    raise TreeFormatError("tree must have at least one node")
+                parent = np.empty(n, dtype=np.int64)
+                w = np.empty(n, dtype=np.float64)
+                f = np.empty(n, dtype=np.float64)
+                sizes = np.empty(n, dtype=np.float64)
+                continue
+            if n is None:
+                raise TreeFormatError("node line before the size line")
+            parts = line.split()
+            if len(parts) != 5:
+                raise TreeFormatError(f"expected 5 columns: {line!r}")
+            i = int(parts[0])
+            if not (0 <= i < n):
+                raise TreeFormatError(f"node id {i} out of range")
+            parent[i] = int(parts[1])
+            w[i] = float(parts[2])
+            f[i] = float(parts[3])
+            sizes[i] = float(parts[4])
+            seen += 1
+    if n is None:
+        raise TreeFormatError("missing size line")
+    if seen != n:
+        raise TreeFormatError(f"expected {n} node lines, found {seen}")
+    return TaskTree(parent, w, f, sizes)

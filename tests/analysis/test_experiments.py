@@ -1,0 +1,66 @@
+"""Tests for the experiment runner and record serialization."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    ScenarioRecord,
+    load_records,
+    run_experiments,
+    save_records,
+)
+from repro.workloads.dataset import TreeInstance
+from repro.workloads.synthetic import random_weighted_tree
+
+
+@pytest.fixture
+def instances(rng):
+    return [
+        TreeInstance(
+            name=f"t{k}",
+            tree=random_weighted_tree(25, rng),
+            matrix_name="synthetic",
+            ordering="none",
+            amalgamation=1,
+        )
+        for k in range(3)
+    ]
+
+
+class TestRunner:
+    def test_record_count(self, instances):
+        records = run_experiments(instances, processor_counts=(2, 4))
+        assert len(records) == 3 * 2 * 4  # trees x p x heuristics
+
+    def test_lower_bounds_attached(self, instances):
+        records = run_experiments(instances, processor_counts=(2,), validate=True)
+        for r in records:
+            assert r.memory >= r.memory_lb - 1e-9
+            assert r.makespan >= r.makespan_lb - 1e-9
+            assert r.memory_ratio >= 1.0 - 1e-9
+            assert r.makespan_ratio >= 1.0 - 1e-9
+
+    def test_heuristic_subset(self, instances):
+        records = run_experiments(
+            instances, processor_counts=(2,), heuristics=("ParSubtrees",)
+        )
+        assert {r.heuristic for r in records} == {"ParSubtrees"}
+
+    def test_memory_lb_constant_across_p(self, instances):
+        records = run_experiments(instances[:1], processor_counts=(2, 8))
+        lbs = {r.memory_lb for r in records}
+        assert len(lbs) == 1
+
+
+class TestSerialization:
+    def test_roundtrip(self, instances, tmp_path):
+        records = run_experiments(instances, processor_counts=(2,))
+        path = str(tmp_path / "records.json")
+        save_records(records, path)
+        loaded = load_records(path)
+        assert loaded == records
+
+    def test_ratios(self):
+        r = ScenarioRecord("t", 5, 2, "H", 10.0, 20.0, 10.0, 5.0)
+        assert r.memory_ratio == 2.0
+        assert r.makespan_ratio == 2.0

@@ -1,0 +1,89 @@
+"""Tests for the Pareto analysis utilities."""
+
+import pytest
+
+from repro.analysis.pareto import ParetoPoint, dominates, hypervolume, pareto_front
+
+
+def pt(mk, mem, label=""):
+    return ParetoPoint(mk, mem, label)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates(pt(1, 1), pt(2, 2))
+        assert not dominates(pt(2, 2), pt(1, 1))
+
+    def test_one_axis_better(self):
+        assert dominates(pt(1, 2), pt(2, 2))
+        assert dominates(pt(2, 1), pt(2, 2))
+
+    def test_incomparable(self):
+        assert not dominates(pt(1, 3), pt(3, 1))
+        assert not dominates(pt(3, 1), pt(1, 3))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates(pt(1, 1), pt(1, 1))
+
+
+class TestFront:
+    def test_extraction(self):
+        points = [pt(1, 5, "a"), pt(2, 3, "b"), pt(3, 4, "c"), pt(4, 1, "d")]
+        front = pareto_front(points)
+        assert [p.label for p in front] == ["a", "b", "d"]
+
+    def test_sorted_by_makespan(self):
+        points = [pt(4, 1), pt(1, 5), pt(2, 3)]
+        front = pareto_front(points)
+        assert [p.makespan for p in front] == sorted(p.makespan for p in front)
+
+    def test_all_dominated_by_one(self):
+        points = [pt(1, 1), pt(2, 2), pt(3, 3)]
+        assert pareto_front(points) == [pt(1, 1)]
+
+    def test_front_members_mutually_incomparable(self):
+        points = [pt(1, 5), pt(2, 3), pt(3, 4), pt(4, 1), pt(2.5, 2.5)]
+        front = pareto_front(points)
+        for a in front:
+            for b in front:
+                if a is not b:
+                    assert not dominates(a, b)
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume([pt(1, 1)], reference=pt(3, 3)) == 4.0
+
+    def test_two_points(self):
+        # union of [1,3]x[2,3] and [2,3]x[1,3] has area 2 + 2 - 1 = 3
+        assert hypervolume([pt(1, 2), pt(2, 1)], reference=pt(3, 3)) == pytest.approx(3.0)
+
+    def test_dominated_points_ignored(self):
+        hv1 = hypervolume([pt(1, 1)], reference=pt(3, 3))
+        hv2 = hypervolume([pt(1, 1), pt(2, 2)], reference=pt(3, 3))
+        assert hv1 == hv2
+
+    def test_points_beyond_reference_ignored(self):
+        hv = hypervolume([pt(1, 1), pt(5, 0.5)], reference=pt(3, 3))
+        assert hv == hypervolume([pt(1, 1)], reference=pt(3, 3))
+
+    def test_more_points_more_volume(self):
+        base = hypervolume([pt(2, 2)], reference=pt(4, 4))
+        more = hypervolume([pt(2, 2), pt(1, 3), pt(3, 1)], reference=pt(4, 4))
+        assert more > base
+
+
+class TestWithHeuristics:
+    def test_heuristics_trace_a_front(self, paper_example):
+        """The four heuristics' (makespan, memory) points include at
+        least two non-dominated trade-offs on a typical tree."""
+        from repro.core.simulator import simulate
+        from repro.parallel import HEURISTICS
+
+        points = []
+        for name, fn in HEURISTICS.items():
+            r = simulate(fn(paper_example, 2))
+            points.append(pt(r.makespan, r.peak_memory, name))
+        front = pareto_front(points)
+        assert len(front) >= 1
+        assert all(isinstance(p, ParetoPoint) for p in front)

@@ -1,0 +1,45 @@
+"""Tests for the data-set shape summary."""
+
+import pytest
+
+from repro.analysis.shape_stats import render_shape_table, summarize_shapes
+from repro.workloads.dataset import TreeInstance
+from repro.workloads.synthetic import random_weighted_tree
+
+
+@pytest.fixture
+def instances(rng):
+    return [
+        TreeInstance(
+            name=f"t{k}",
+            tree=random_weighted_tree(20 + 10 * k, rng),
+            matrix_name="synthetic",
+            ordering="none",
+            amalgamation=1,
+        )
+        for k in range(4)
+    ]
+
+
+class TestSummary:
+    def test_statistics_present(self, instances):
+        summaries = {s.name: s for s in summarize_shapes(instances)}
+        assert set(summaries) == {"nodes", "depth", "max degree", "leaves"}
+        assert summaries["nodes"].minimum == 20
+        assert summaries["nodes"].maximum == 50
+
+    def test_min_le_median_le_max(self, instances):
+        for s in summarize_shapes(instances):
+            assert s.minimum <= s.median <= s.maximum
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_shapes([])
+
+
+class TestRendering:
+    def test_table_contains_paper_ranges(self, instances):
+        text = render_shape_table(summarize_shapes(instances))
+        assert "paper range" in text
+        assert "2,000 - 1,000,000" in text
+        assert "nodes" in text

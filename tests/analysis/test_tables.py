@@ -1,0 +1,48 @@
+"""Tests for the Table 1 renderers."""
+
+from repro.analysis.metrics import HeuristicStats
+from repro.analysis.tables import render_table1, table1_csv
+
+
+def stats_row(name="ParSubtrees"):
+    return HeuristicStats(
+        heuristic=name,
+        best_memory=81.1,
+        within5_memory=85.2,
+        avg_dev_seq_memory=133.0,
+        best_makespan=0.2,
+        within5_makespan=14.2,
+        avg_dev_best_makespan=34.7,
+        scenarios=3040,
+    )
+
+
+class TestRenderTable1:
+    def test_contains_measured_values(self):
+        text = render_table1([stats_row()])
+        assert "ParSubtrees" in text
+        assert "81.1%" in text
+        assert "133.0%" in text
+        assert "scenarios: 3040" in text
+
+    def test_paper_comparison_rows(self):
+        text = render_table1([stats_row()], compare_paper=True)
+        assert "(paper)" in text
+
+    def test_no_paper_rows_for_unknown_heuristic(self):
+        text = render_table1([stats_row(name="Mystery")], compare_paper=True)
+        assert "(paper)" not in text
+
+    def test_compare_disabled(self):
+        text = render_table1([stats_row()], compare_paper=False)
+        assert "(paper)" not in text
+
+
+class TestCsv:
+    def test_csv_shape(self):
+        csv = table1_csv([stats_row(), stats_row("ParInnerFirst")])
+        lines = csv.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("heuristic,")
+        assert lines[1].split(",")[0] == "ParSubtrees"
+        assert lines[1].split(",")[1] == "81.10"

@@ -1,0 +1,46 @@
+"""Tests for the ASCII visualizations."""
+
+from repro.analysis.visualize import render_memory_profile, render_tree
+from repro.core.schedule import Schedule
+from repro.core.tree import TaskTree
+
+
+class TestRenderTree:
+    def test_small_tree(self, paper_example):
+        text = render_tree(paper_example)
+        assert text.splitlines()[0].startswith("0 ")
+        assert "`--" in text
+        assert text.count("w=") == paper_example.n
+
+    def test_weights_off(self, chain5):
+        text = render_tree(chain5, weights=False)
+        assert "w=" not in text
+
+    def test_large_tree_elided(self):
+        t = TaskTree.from_parents([-1] + [0] * 200)
+        text = render_tree(t, max_nodes=10)
+        assert "..." in text
+        assert "201 nodes total" in text
+
+    def test_every_node_once(self, paper_example):
+        text = render_tree(paper_example)
+        for i in range(paper_example.n):
+            assert f"{i} (" in text
+
+
+class TestRenderMemoryProfile:
+    def test_profile_renders(self, paper_example):
+        sch = Schedule.sequential(paper_example, paper_example.postorder())
+        text = render_memory_profile(sch)
+        assert "#" in text
+        assert "peak:" in text
+
+    def test_reference_line(self, star5):
+        sch = Schedule.sequential(star5, [1, 2, 3, 4, 0])
+        text = render_memory_profile(sch, reference=10.0)
+        assert "reference level" in text
+
+    def test_peak_value_reported(self, star5):
+        sch = Schedule.sequential(star5, [1, 2, 3, 4, 0])
+        text = render_memory_profile(sch)
+        assert "peak: 5" in text

@@ -1,0 +1,94 @@
+"""Tests for the out-of-core execution model."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.outofcore import simulate_out_of_core
+from repro.core.schedule import Schedule
+from repro.core.simulator import simulate
+from repro.parallel import par_deepest_first, par_subtrees
+from repro.sequential.postorder import optimal_postorder
+from tests.conftest import task_trees
+
+
+def sequential_schedule(tree):
+    return Schedule.sequential(tree, optimal_postorder(tree).order)
+
+
+class TestInCore:
+    @given(task_trees(min_nodes=2, max_nodes=30))
+    @settings(max_examples=30, deadline=None)
+    def test_no_spill_when_memory_suffices(self, tree):
+        sch = sequential_schedule(tree)
+        peak = simulate(sch).peak_memory
+        res = simulate_out_of_core(sch, memory=peak)
+        assert res.fits_in_core
+        assert res.io_volume == 0.0
+        assert res.effective_makespan == sch.makespan
+
+    def test_spill_below_peak(self):
+        """A leaves-first order on a three-branch tree with heavy leaf
+        files peaks far above any single task's working set, so a memory
+        between the two forces spills."""
+        from repro.core.tree import TaskTree
+
+        tree = TaskTree.from_parents(
+            [-1, 0, 0, 0, 1, 2, 3], w=1.0, f=[1, 1, 1, 1, 5, 5, 5], sizes=0.0
+        )
+        order = [4, 5, 6, 1, 2, 3, 0]  # all heavy leaves first
+        sch = Schedule.sequential(tree, order)
+        peak = simulate(sch).peak_memory  # 16
+        floor = max(tree.processing_memory(i) for i in range(tree.n))  # 6
+        res = simulate_out_of_core(sch, memory=max(floor, peak / 2))
+        assert not res.fits_in_core
+        assert res.io_volume > 0
+        assert res.effective_makespan > sch.makespan
+
+
+class TestModelConstraints:
+    def test_working_set_too_large_rejected(self, star5):
+        # the root needs 4 inputs + output = 5 simultaneously
+        sch = sequential_schedule(star5)
+        with pytest.raises(ValueError, match="no out-of-core"):
+            simulate_out_of_core(sch, memory=4.0)
+
+    def test_bad_bandwidth(self, star5):
+        sch = sequential_schedule(star5)
+        with pytest.raises(ValueError, match="bandwidth"):
+            simulate_out_of_core(sch, memory=10.0, bandwidth=0.0)
+
+    def test_bandwidth_scales_penalty(self, star5):
+        sch = sequential_schedule(star5)
+        slow = simulate_out_of_core(sch, memory=5.0 - 0)  # fits exactly
+        assert slow.io_volume == 0.0
+
+
+class TestPaperMotivation:
+    def test_memory_aware_schedule_avoids_spill(self):
+        """The opening argument of the paper, quantified: under a fixed
+        memory, ParSubtrees stays in core while ParDeepestFirst spills
+        and pays I/O time."""
+        from repro.pebble.counterexamples import deepest_first_memory_tree
+
+        tree = deepest_first_memory_tree(16, 6)
+        p = 8
+        mem_sub = simulate(par_subtrees(tree, p)).peak_memory
+        budget = max(mem_sub, 8.0)
+        aware = simulate_out_of_core(par_subtrees(tree, p), memory=budget)
+        oblivious = simulate_out_of_core(par_deepest_first(tree, p), memory=budget)
+        assert aware.fits_in_core
+        assert not oblivious.fits_in_core
+        assert oblivious.effective_makespan > aware.effective_makespan * 0.0
+        assert oblivious.io_volume > 0
+
+    @given(task_trees(min_nodes=3, max_nodes=25))
+    @settings(max_examples=25, deadline=None)
+    def test_io_volume_decreases_with_memory(self, tree):
+        """More memory never causes more I/O (with largest-first
+        eviction this holds on the measured sweep)."""
+        sch = sequential_schedule(tree)
+        peak = simulate(sch).peak_memory
+        floor = max(tree.processing_memory(i) for i in range(tree.n))
+        lo = simulate_out_of_core(sch, memory=max(floor, peak * 0.6))
+        hi = simulate_out_of_core(sch, memory=peak)
+        assert hi.io_volume <= lo.io_volume + 1e-9

@@ -1,0 +1,115 @@
+"""Unit and property tests for the event-sweep simulator."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.schedule import Schedule
+from repro.core.simulator import (
+    memory_profile,
+    peak_memory,
+    sequential_peak_memory,
+    simulate,
+)
+from repro.core.tree import TaskTree
+from repro.sequential.traversal import traversal_peak_memory
+from tests.conftest import task_trees
+
+
+class TestSequentialAccounting:
+    def test_chain_pebble(self, chain5):
+        # Chain in pebble model: each step holds child output + own output.
+        peak = sequential_peak_memory(chain5, [4, 3, 2, 1, 0])
+        assert peak == 2.0
+
+    def test_star_pebble(self, star5):
+        # All leaf outputs resident when the root runs: 4 + root's 1.
+        peak = sequential_peak_memory(star5, [1, 2, 3, 4, 0])
+        assert peak == 5.0
+
+    def test_execution_file_counted(self):
+        t = TaskTree.from_parents([-1, 0], w=1.0, f=2.0, sizes=[3.0, 4.0])
+        # leaf: 4 + 2 = 6; root while leaf output resident: 2 + 3 + 2 = 7
+        assert sequential_peak_memory(t, [1, 0]) == 7.0
+
+    def test_matches_traversal_evaluation(self, paper_example):
+        order = paper_example.postorder()
+        assert sequential_peak_memory(paper_example, order) == traversal_peak_memory(
+            paper_example, order
+        )
+
+    @given(task_trees())
+    @settings(max_examples=80, deadline=None)
+    def test_simulator_equals_traversal_evaluator(self, tree):
+        """The event sweep and the direct profile agree on any order."""
+        order = tree.postorder()
+        assert abs(
+            sequential_peak_memory(tree, order) - traversal_peak_memory(tree, order)
+        ) < 1e-9
+
+
+class TestParallelAccounting:
+    def test_free_before_alloc_at_same_instant(self, star5):
+        """Leaves end at t=1, root starts at t=1: the root's allocation
+        must not stack on the leaves' execution allocations."""
+        start = np.array([1.0, 0.0, 0.0, 0.0, 0.0])
+        proc = np.array([0, 0, 1, 2, 3])
+        sch = Schedule(star5, start, proc, p=4)
+        # During leaves: 4 outputs; during root: 4 inputs + 1 output = 5.
+        assert peak_memory(sch) == 5.0
+
+    def test_parallel_leaves_sum(self, star5):
+        start = np.array([2.0, 0.0, 0.0, 1.0, 1.0])
+        proc = np.array([0, 0, 1, 0, 1])
+        sch = Schedule(star5, start, proc, p=2)
+        sim = simulate(sch)
+        # t in [0,1): leaves 1,2 -> 2; [1,2): outputs 1,2 + leaves 3,4 -> 4
+        # [2,3): 4 inputs + root output -> 5.
+        assert sim.peak_memory == 5.0
+        assert sim.memory_at(0.5) == 2.0
+        assert sim.memory_at(1.5) == 4.0
+
+    def test_memory_profile_monotone_times(self, paper_example):
+        sch = Schedule.sequential(paper_example, paper_example.postorder())
+        times, mem = memory_profile(sch)
+        assert np.all(np.diff(times) > 0)
+        assert mem.shape == times.shape
+
+    def test_final_memory_is_root_output(self, paper_example):
+        sch = Schedule.sequential(paper_example, paper_example.postorder())
+        _, mem = memory_profile(sch)
+        assert mem[-1] == paper_example.f[paper_example.root]
+
+    @given(task_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_memory_conservation(self, tree):
+        """Total allocations equal total frees plus the root's output."""
+        sch = Schedule.sequential(tree, tree.postorder())
+        _, mem = memory_profile(sch)
+        assert abs(mem[-1] - tree.f[tree.root]) < 1e-9
+        assert np.all(mem >= -1e-9)
+
+
+class TestSimulateResult:
+    def test_makespan(self, paper_example):
+        sch = Schedule.sequential(paper_example, paper_example.postorder())
+        sim = simulate(sch)
+        assert sim.makespan == paper_example.total_work()
+
+    def test_memory_at_before_start(self, paper_example):
+        sch = Schedule.sequential(paper_example, paper_example.postorder())
+        sim = simulate(sch)
+        assert sim.memory_at(-1.0) == 0.0
+
+    def test_validate_flag(self, star5):
+        # Invalid: root starts before children complete.
+        start = np.zeros(5)
+        proc = np.arange(5) % 2
+        sch = Schedule(star5, start, proc, p=2)
+        import pytest
+
+        from repro.core.validation import InvalidScheduleError
+
+        with pytest.raises(InvalidScheduleError):
+            simulate(sch, validate=True)
+        sim = simulate(sch, validate=False)  # accounting still runs
+        assert sim.peak_memory > 0

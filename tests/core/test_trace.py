@@ -1,0 +1,71 @@
+"""Tests for schedule traces and utilization statistics."""
+
+import json
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.schedule import Schedule
+from repro.core.simulator import simulate
+from repro.core.trace import schedule_trace, trace_json, utilization
+from repro.parallel import par_deepest_first
+from tests.conftest import task_trees
+
+
+class TestTrace:
+    def test_event_count(self, paper_example):
+        sch = Schedule.sequential(paper_example, paper_example.postorder())
+        events = schedule_trace(sch)
+        assert len(events) == 2 * paper_example.n
+        assert sum(1 for e in events if e.kind == "start") == paper_example.n
+
+    def test_time_ordered_ends_before_starts(self, star5):
+        start = np.array([1.0, 0.0, 0.0, 0.0, 0.0])
+        sch = Schedule(star5, start, np.array([0, 0, 1, 2, 3]), p=4)
+        events = schedule_trace(sch)
+        at_1 = [e for e in events if e.time == 1.0]
+        kinds = [e.kind for e in at_1]
+        assert kinds == sorted(kinds)  # "end" < "start" alphabetically
+
+    def test_memory_levels_match_simulator(self, paper_example):
+        sch = Schedule.sequential(paper_example, paper_example.postorder())
+        sim = simulate(sch)
+        for e in schedule_trace(sch):
+            assert abs(e.memory - sim.memory_at(e.time)) < 1e-9
+
+    def test_json_roundtrip(self, star5):
+        sch = Schedule.sequential(star5, [1, 2, 3, 4, 0])
+        data = json.loads(trace_json(sch))
+        assert len(data) == 10
+        assert {"time", "kind", "node", "proc", "memory"} <= set(data[0])
+
+
+class TestUtilization:
+    def test_sequential_single_processor(self, paper_example):
+        sch = Schedule.sequential(paper_example, paper_example.postorder())
+        stats = utilization(sch)
+        assert stats.mean_utilization == 1.0
+        assert stats.idle_time == 0.0
+
+    def test_parallel_idle_accounting(self, star5):
+        start = np.array([1.0, 0.0, 0.0, 0.0, 0.0])
+        sch = Schedule(star5, start, np.array([0, 0, 1, 2, 3]), p=4)
+        stats = utilization(sch)
+        # makespan 2, total work 5, 4 procs: idle = 8 - 5 = 3
+        assert stats.idle_time == 3.0
+        assert abs(stats.mean_utilization - 5 / 8) < 1e-9
+
+    @given(task_trees(min_nodes=2, max_nodes=30))
+    @settings(max_examples=30, deadline=None)
+    def test_conservation(self, tree):
+        """busy + idle == p * makespan; mean utilization = W/(p Cmax)."""
+        for p in (1, 3):
+            sch = par_deepest_first(tree, p)
+            stats = utilization(sch)
+            assert abs(stats.busy.sum() - tree.total_work()) < 1e-9
+            assert abs(
+                stats.busy.sum() + stats.idle_time - p * sch.makespan
+            ) < 1e-9
+            assert abs(
+                stats.mean_utilization - tree.total_work() / (p * sch.makespan)
+            ) < 1e-9

@@ -1,0 +1,185 @@
+"""Unit tests for the TaskTree data structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.tree import TaskTree, NO_PARENT
+from tests.conftest import task_trees
+
+
+class TestConstruction:
+    def test_single_node(self):
+        t = TaskTree.from_parents([-1])
+        assert t.n == 1
+        assert t.root == 0
+        assert t.is_leaf(0)
+        assert t.children(0) == ()
+
+    def test_chain(self, chain5):
+        assert chain5.root == 0
+        assert chain5.height() == 4
+        assert chain5.n_leaves() == 1
+        assert chain5.children(0) == (1,)
+
+    def test_star(self, star5):
+        assert star5.max_degree() == 4
+        assert star5.n_leaves() == 4
+        assert list(star5.leaves()) == [1, 2, 3, 4]
+
+    def test_scalar_weight_broadcast(self):
+        t = TaskTree.from_parents([-1, 0], w=2.5, f=3.0, sizes=1.0)
+        assert np.all(t.w == 2.5)
+        assert np.all(t.f == 3.0)
+        assert np.all(t.sizes == 1.0)
+
+    def test_from_edges(self):
+        t = TaskTree.from_edges([(1, 0), (2, 0), (3, 1)], n=4)
+        assert t.root == 0
+        assert t.children(0) == (1, 2)
+        assert t.children(1) == (3,)
+
+    def test_from_edges_duplicate_parent_rejected(self):
+        with pytest.raises(ValueError, match="two parents"):
+            TaskTree.from_edges([(1, 0), (1, 2)], n=3)
+
+    def test_pebble_game_weights(self):
+        t = TaskTree.pebble_game([-1, 0, 0])
+        assert np.all(t.w == 1.0)
+        assert np.all(t.f == 1.0)
+        assert np.all(t.sizes == 0.0)
+
+    def test_rejects_no_root(self):
+        with pytest.raises(ValueError, match="exactly one root"):
+            TaskTree.from_parents([0, 1])  # a 2-cycle, no root
+
+    def test_rejects_two_roots(self):
+        with pytest.raises(ValueError, match="exactly one root"):
+            TaskTree.from_parents([-1, -1])
+
+    def test_rejects_self_parent(self):
+        with pytest.raises(ValueError, match="own parent"):
+            TaskTree.from_parents([-1, 1])
+
+    def test_rejects_cycle(self):
+        # 0 is root; 1 -> 2 -> 1 is a detached cycle.
+        with pytest.raises(ValueError, match="cycle"):
+            TaskTree.from_parents([-1, 2, 1])
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            TaskTree.from_parents([-1, 0], w=[-1.0, 1.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            TaskTree(np.array([-1, 0]), np.ones(3), np.ones(2), np.zeros(2))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one task"):
+            TaskTree.from_parents([])
+
+    def test_rejects_out_of_range_parent(self):
+        with pytest.raises(ValueError, match="out of range"):
+            TaskTree.from_parents([-1, 7])
+
+
+class TestTraversalsAndAggregates:
+    def test_postorder_children_before_parents(self, paper_example):
+        order = paper_example.postorder()
+        pos = {int(v): k for k, v in enumerate(order)}
+        for i in range(paper_example.n):
+            for j in paper_example.children(i):
+                assert pos[j] < pos[i]
+
+    def test_postorder_is_permutation(self, paper_example):
+        order = paper_example.postorder()
+        assert sorted(order) == list(range(paper_example.n))
+
+    def test_depths(self, paper_example):
+        d = paper_example.depths()
+        assert d[0] == 0
+        assert d[1] == d[2] == 1
+        assert d[3] == d[4] == d[5] == d[6] == 2
+
+    def test_weighted_depths_includes_own_weight(self, paper_example):
+        wd = paper_example.weighted_depths()
+        assert wd[0] == 3.0  # root: own w only
+        assert wd[1] == 3.0 + 2.0
+        assert wd[5] == 3.0 + 4.0 + 5.0
+
+    def test_critical_path(self, paper_example):
+        assert paper_example.critical_path() == 12.0  # 0 -> 2 -> 5
+
+    def test_subtree_work_root_is_total(self, paper_example):
+        W = paper_example.subtree_work()
+        assert W[paper_example.root] == paper_example.total_work()
+        assert W[1] == 2 + 1 + 2
+
+    def test_subtree_sizes(self, paper_example):
+        s = paper_example.subtree_sizes()
+        assert s[paper_example.root] == 7
+        assert s[1] == 3
+        assert s[3] == 1
+
+    def test_subtree_nodes(self, paper_example):
+        nodes = set(paper_example.subtree_nodes(1))
+        assert nodes == {1, 3, 4}
+
+    def test_deep_chain_no_recursion_error(self):
+        n = 50_000
+        t = TaskTree.from_parents([-1] + list(range(n - 1)))
+        assert t.height() == n - 1
+        assert t.postorder()[0] == n - 1
+
+    def test_processing_memory(self, paper_example):
+        # node 1: children 3,4 with f=4,1; sizes=0; f=3
+        assert paper_example.processing_memory(1) == 4 + 1 + 0 + 3
+        # leaf 3: no inputs
+        assert paper_example.processing_memory(3) == 0 + 4
+
+
+class TestDerivedTrees:
+    def test_subtree_extraction(self, paper_example):
+        sub, nodes = paper_example.subtree(2)
+        assert sub.n == 3
+        assert sub.root == 0
+        assert list(nodes) == [2, 6, 5] or set(nodes) == {2, 5, 6}
+        # weights carried over
+        orig = {int(o): k for k, o in enumerate(nodes)}
+        assert sub.w[orig[5]] == paper_example.w[5]
+
+    def test_subtree_of_root_is_whole_tree(self, paper_example):
+        sub, nodes = paper_example.subtree(paper_example.root)
+        assert sub.n == paper_example.n
+        assert sub.total_work() == paper_example.total_work()
+
+    def test_with_weights(self, star5):
+        t = star5.with_weights(w=[5, 1, 1, 1, 1])
+        assert t.w[0] == 5
+        assert star5.w[0] == 1  # original untouched
+
+    def test_to_networkx(self, paper_example):
+        g = paper_example.to_networkx()
+        assert g.number_of_nodes() == 7
+        assert g.number_of_edges() == 6
+        assert g.has_edge(1, 0)
+        assert g.nodes[5]["w"] == 5.0
+
+
+class TestPropertyInvariants:
+    @given(task_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_structure_invariants(self, tree):
+        assert tree.subtree_sizes()[tree.root] == tree.n
+        assert abs(tree.subtree_work()[tree.root] - tree.total_work()) < 1e-9
+        assert tree.n_leaves() >= 1
+        order = tree.postorder()
+        assert sorted(order) == list(range(tree.n))
+        assert order[-1] == tree.root
+
+    @given(task_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_critical_path_bounds(self, tree):
+        cp = tree.critical_path()
+        assert cp <= tree.total_work() + 1e-9
+        assert cp >= tree.w.max() - 1e-9

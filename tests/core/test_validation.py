@@ -1,0 +1,60 @@
+"""Unit tests for schedule validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import Schedule
+from repro.core.validation import InvalidScheduleError, is_valid, validate_schedule
+
+
+def make(tree, start, proc, p):
+    return Schedule(tree, np.asarray(start, float), np.asarray(proc, int), p)
+
+
+class TestPrecedence:
+    def test_valid_sequential(self, chain5):
+        sch = Schedule.sequential(chain5, [4, 3, 2, 1, 0])
+        validate_schedule(sch)  # no raise
+
+    def test_child_after_parent_rejected(self, chain5):
+        sch = Schedule.sequential(chain5, [4, 3, 2, 1, 0])
+        bad = make(chain5, [0, 1, 2, 3, 4], [0] * 5, 1)  # root first
+        assert is_valid(sch)
+        with pytest.raises(InvalidScheduleError, match="precedence"):
+            validate_schedule(bad)
+
+    def test_parent_start_equal_child_end_ok(self, star5):
+        start = [1.0, 0.0, 0.0, 0.0, 0.0]
+        sch = make(star5, start, [0, 0, 1, 2, 3], 4)
+        validate_schedule(sch)
+
+    def test_overlap_child_parent_rejected(self, star5):
+        start = [0.5, 0.0, 0.0, 0.0, 0.0]
+        sch = make(star5, start, [0, 1, 2, 3, 0], 4)
+        with pytest.raises(InvalidScheduleError, match="precedence"):
+            validate_schedule(sch)
+
+
+class TestResources:
+    def test_processor_overlap_rejected(self, star5):
+        start = [2.0, 0.0, 0.5, 1.0, 1.0]
+        sch = make(star5, start, [0, 0, 0, 1, 1], 2)  # 1 and 2 overlap on P0
+        with pytest.raises(InvalidScheduleError, match="overlap"):
+            validate_schedule(sch)
+
+    def test_processor_out_of_range_rejected(self, star5):
+        start = [1.0, 0.0, 0.0, 0.0, 0.0]
+        sch = make(star5, start, [0, 0, 1, 2, 5], 4)
+        with pytest.raises(InvalidScheduleError, match="outside"):
+            validate_schedule(sch)
+
+    def test_negative_start_rejected(self, star5):
+        start = [1.0, -0.5, 0.0, 0.0, 0.0]
+        sch = make(star5, start, [0, 0, 1, 2, 3], 4)
+        with pytest.raises(InvalidScheduleError, match="negative"):
+            validate_schedule(sch)
+
+    def test_tolerance(self, star5):
+        start = [1.0, 1e-12, 0.0, 0.0, 0.0]
+        sch = make(star5, start, [0, 0, 1, 2, 3], 4)
+        validate_schedule(sch)  # within tol

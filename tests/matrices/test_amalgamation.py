@@ -1,0 +1,111 @@
+"""Tests for relaxed node amalgamation and the weight model."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.amalgamation import amalgamate
+from repro.matrices.generators import banded, grid2d, random_symmetric
+from repro.matrices.ordering import apply_ordering, nested_dissection
+from repro.matrices.symbolic import symbolic_cholesky
+from repro.matrices.weights import node_weights
+
+
+class TestNoAmalgamation:
+    def test_cap1_is_identity(self):
+        sym = symbolic_cholesky(grid2d(5))
+        at = amalgamate(sym, 1)
+        # every elimination node is its own assembly node (one tree root
+        # for a connected grid, no virtual root needed)
+        assert at.tree.n == sym.n
+        assert np.all(at.eta == 1)
+        assert np.array_equal(at.mu, sym.counts)
+
+    def test_cap1_weights_formula(self):
+        sym = symbolic_cholesky(banded(6, 1))
+        at = amalgamate(sym, 1)
+        for k in range(at.tree.n):
+            n_i, w_i, f_i = node_weights(int(at.eta[k]), int(at.mu[k]))
+            assert at.tree.sizes[k] == n_i
+            assert at.tree.w[k] == w_i
+            assert at.tree.f[k] == f_i
+
+
+class TestCaps:
+    @pytest.mark.parametrize("cap", [2, 4, 16])
+    def test_eta_within_cap_and_conserved(self, cap):
+        sym = symbolic_cholesky(grid2d(6))
+        at = amalgamate(sym, cap)
+        assert at.eta.max() <= cap
+        # every elimination node is in exactly one group
+        assert at.eta.sum() >= sym.n
+        assert sorted(set(at.group_of)) == list(range(len(set(at.group_of))))
+
+    def test_monotone_coarsening(self):
+        """Bigger caps yield (weakly) fewer assembly nodes."""
+        sym = symbolic_cholesky(grid2d(8))
+        ns = [amalgamate(sym, cap).tree.n for cap in (1, 2, 4, 16)]
+        assert ns == sorted(ns, reverse=True)
+
+    def test_chain_amalgamation(self):
+        """A tridiagonal etree is a chain of perfectly nested columns:
+        cap=4 packs nodes in groups of 4."""
+        sym = symbolic_cholesky(banded(16, 1))
+        at = amalgamate(sym, 4, relax=0.5)
+        assert at.tree.n < 16
+        assert at.eta.max() == 4
+
+    def test_rejects_bad_cap(self):
+        sym = symbolic_cholesky(banded(4, 1))
+        with pytest.raises(ValueError):
+            amalgamate(sym, 0)
+
+
+class TestTreeValidity:
+    def test_forest_gets_virtual_root(self):
+        import scipy.sparse as sp
+
+        sym = symbolic_cholesky(sp.identity(4, format="csr"))
+        at = amalgamate(sym, 1)
+        assert at.tree.n == 5  # 4 + virtual root
+        assert at.tree.degree(at.tree.root) == 4
+        assert at.tree.f[at.tree.root] == 0.0
+
+    def test_parent_consistency(self, rng):
+        """Assembly-tree edges reflect etree edges between groups."""
+        a = random_symmetric(40, 3.0, rng)
+        perm = nested_dissection(a, leaf_size=8)
+        sym = symbolic_cholesky(apply_ordering(a, perm))
+        at = amalgamate(sym, 4)
+        for j in range(sym.n):
+            p = int(sym.parent[j])
+            if p == -1:
+                continue
+            gj, gp = int(at.group_of[j]), int(at.group_of[p])
+            if gj != gp:
+                # gp must be on the assembly path above gj
+                anc = int(at.tree.parent[gj])
+                assert anc == gp or anc != -1
+
+    def test_weights_positive(self):
+        sym = symbolic_cholesky(grid2d(6))
+        at = amalgamate(sym, 4)
+        assert np.all(at.tree.w > 0)
+        assert np.all(at.tree.sizes > 0)
+        assert np.all(at.tree.f >= 0)
+
+
+class TestWeightsFormulas:
+    def test_pebble_like_minimum(self):
+        assert node_weights(1, 1) == (1.0, 2.0 / 3.0, 0.0)
+
+    def test_known_values(self):
+        n_i, w_i, f_i = node_weights(2, 4)
+        assert n_i == 4 + 2 * 2 * 3
+        assert w_i == (2 / 3) * 8 + 4 * 3 + 2 * 9
+        assert f_i == 9.0
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            node_weights(0, 1)
+        with pytest.raises(ValueError):
+            node_weights(1, 0)

@@ -1,0 +1,77 @@
+"""Tests for the synthetic matrix generators."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrices.generators import (
+    banded,
+    grid2d,
+    grid3d,
+    random_symmetric,
+    scale_free,
+    symmetrize,
+)
+
+
+def assert_valid_pattern(a: sp.csr_matrix):
+    """Square, pattern-symmetric, full diagonal, binary values."""
+    assert a.shape[0] == a.shape[1]
+    diff = (a != a.T).nnz
+    assert diff == 0
+    assert np.all(a.diagonal() == 1.0)
+    assert np.all(a.data == 1.0)
+
+
+class TestGenerators:
+    def test_grid2d(self):
+        a = grid2d(5)
+        assert a.shape == (25, 25)
+        assert_valid_pattern(a)
+        # interior nodes have 4 neighbours + diagonal
+        degrees = np.diff(a.indptr)
+        assert degrees.max() == 5
+
+    def test_grid3d(self):
+        a = grid3d(3)
+        assert a.shape == (27, 27)
+        assert_valid_pattern(a)
+        assert np.diff(a.indptr).max() == 7
+
+    def test_banded(self):
+        a = banded(20, 3)
+        assert_valid_pattern(a)
+        rows, cols = a.nonzero()
+        assert np.abs(rows - cols).max() == 3
+
+    def test_random_symmetric(self, rng):
+        a = random_symmetric(50, 4.0, rng)
+        assert_valid_pattern(a)
+        assert a.nnz / 50 >= 2.0  # roughly the requested density
+
+    def test_scale_free(self, rng):
+        a = scale_free(60, 2, rng)
+        assert_valid_pattern(a)
+        degrees = np.diff(a.indptr)
+        assert degrees.max() > degrees.mean() * 2  # heavy tail
+
+    def test_symmetrize_arbitrary(self, rng):
+        raw = sp.random(10, 10, density=0.2, random_state=42, format="csr")
+        a = symmetrize(raw)
+        assert_valid_pattern(a)
+
+    @pytest.mark.parametrize("fn,arg", [(grid2d, 0), (grid3d, 0), (banded, 0)])
+    def test_rejects_degenerate(self, fn, arg):
+        with pytest.raises(ValueError):
+            fn(arg) if fn is not banded else fn(arg, 1)
+
+    def test_banded_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            banded(10, 0)
+
+    def test_determinism(self):
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        a = random_symmetric(30, 3.0, rng1)
+        b = random_symmetric(30, 3.0, rng2)
+        assert (a != b).nnz == 0

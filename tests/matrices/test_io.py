@@ -1,0 +1,128 @@
+"""Tests for the Matrix Market reader/writer."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrices.generators import grid2d, random_symmetric
+from repro.matrices.io import (
+    MatrixMarketError,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+
+class TestRoundTrip:
+    def test_general_roundtrip(self, tmp_path, rng):
+        a = random_symmetric(20, 3.0, rng)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, a)
+        b = read_matrix_market(path)
+        assert (a != b).nnz == 0
+
+    def test_symmetric_roundtrip(self, tmp_path):
+        a = grid2d(6)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, a, symmetric=True)
+        b = read_matrix_market(path)
+        assert (a != b).nnz == 0
+        # the file stores only the lower triangle
+        with open(path) as fh:
+            header = fh.readline()
+        assert "symmetric" in header
+
+    def test_gzip_roundtrip(self, tmp_path):
+        a = grid2d(4)
+        path = tmp_path / "m.mtx.gz"
+        write_matrix_market(path, a, symmetric=True)
+        b = read_matrix_market(path)
+        assert (a != b).nnz == 0
+
+    def test_values_preserved(self, tmp_path):
+        a = sp.csr_matrix(np.array([[1.5, 0.0], [2.25, 3.0]]))
+        path = tmp_path / "v.mtx"
+        write_matrix_market(path, a)
+        b = read_matrix_market(path)
+        assert np.allclose(b.toarray(), a.toarray())
+
+
+class TestParsing:
+    def write(self, tmp_path, text):
+        path = tmp_path / "x.mtx"
+        path.write_text(text)
+        return path
+
+    def test_pattern_field(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n1 1\n2 2\n",
+        )
+        a = read_matrix_market(path)
+        assert a.nnz == 2
+        assert a[0, 0] == 1.0
+
+    def test_comments_skipped(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n% another\n"
+            "1 1 1\n1 1 2.0\n",
+        )
+        a = read_matrix_market(path)
+        assert a[0, 0] == 2.0
+
+    def test_symmetric_expansion(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "2 2 2\n1 1 1.0\n2 1 5.0\n",
+        )
+        a = read_matrix_market(path)
+        assert a[0, 1] == 5.0 and a[1, 0] == 5.0
+
+    def test_missing_header(self, tmp_path):
+        path = self.write(tmp_path, "2 2 1\n1 1 1.0\n")
+        with pytest.raises(MatrixMarketError, match="header"):
+            read_matrix_market(path)
+
+    def test_unsupported_field(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+        )
+        with pytest.raises(MatrixMarketError, match="unsupported field"):
+            read_matrix_market(path)
+
+    def test_truncated_entries(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+        )
+        with pytest.raises(MatrixMarketError, match="expected 2"):
+            read_matrix_market(path)
+
+    def test_out_of_bounds_index(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+        )
+        with pytest.raises(MatrixMarketError, match="out of bounds"):
+            read_matrix_market(path)
+
+    def test_write_asymmetric_as_symmetric_rejected(self, tmp_path):
+        a = sp.csr_matrix(np.array([[1.0, 2.0], [0.0, 1.0]]))
+        with pytest.raises(MatrixMarketError, match="not symmetric"):
+            write_matrix_market(tmp_path / "x.mtx", a, symmetric=True)
+
+
+class TestPipelineIntegration:
+    def test_mtx_to_assembly_tree(self, tmp_path):
+        """A .mtx file can feed the full pipeline, as with real UFL data."""
+        from repro.matrices import amalgamate, symbolic_cholesky
+
+        path = tmp_path / "grid.mtx"
+        write_matrix_market(path, grid2d(5), symmetric=True)
+        a = read_matrix_market(path)
+        tree = amalgamate(symbolic_cholesky(a), 2).tree
+        assert tree.n > 1

@@ -1,0 +1,59 @@
+"""Tests for the symbolic factorization wrapper."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrices.generators import banded, grid2d, random_symmetric
+from repro.matrices.symbolic import (
+    dense_symbolic_cholesky,
+    symbolic_cholesky,
+)
+
+
+class TestSymbolicFactorization:
+    def test_tridiagonal(self):
+        sym = symbolic_cholesky(banded(8, 1))
+        assert sym.n == 8
+        assert sym.factor_nnz == 2 * 8 - 1
+        assert sym.height() == 7
+        assert sym.n_roots() == 1
+
+    def test_identity_forest(self):
+        sym = symbolic_cholesky(sp.identity(6, format="csr"))
+        assert sym.n_roots() == 6
+        assert sym.factor_nnz == 6
+        assert sym.height() == 0
+
+    def test_factor_nnz_matches_dense(self, rng):
+        for _ in range(5):
+            a = random_symmetric(int(rng.integers(5, 25)), 3.0, rng)
+            sym = symbolic_cholesky(a)
+            L = dense_symbolic_cholesky(a)
+            assert sym.factor_nnz == int(L.sum())
+
+    def test_grid_counts_positive(self):
+        sym = symbolic_cholesky(grid2d(6))
+        assert np.all(sym.counts >= 1)
+        assert sym.counts[-1] == 1  # last column: diagonal only
+
+
+class TestDenseReference:
+    def test_no_fill_on_tridiagonal(self):
+        L = dense_symbolic_cholesky(banded(6, 1))
+        assert int(L.sum()) == 11
+
+    def test_full_fill_on_arrow_reversed(self):
+        """Arrow pointing up-left creates total fill below the spike."""
+        n = 5
+        a = sp.lil_matrix((n, n))
+        a[np.arange(n), np.arange(n)] = 1
+        a[0, :] = 1
+        a[:, 0] = 1
+        L = dense_symbolic_cholesky(sp.csr_matrix(a))
+        assert int(L.sum()) == n * (n + 1) // 2  # completely dense
+
+    def test_lower_triangular(self, rng):
+        a = random_symmetric(12, 3.0, rng)
+        L = dense_symbolic_cholesky(a)
+        assert not np.any(np.triu(L, k=1))

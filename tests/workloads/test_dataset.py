@@ -1,0 +1,63 @@
+"""Tests for the paper-analog data set builder."""
+
+import pytest
+
+from repro.workloads.dataset import (
+    AMALGAMATIONS,
+    PROCESSOR_COUNTS,
+    TreeInstance,
+    build_dataset,
+)
+
+
+class TestPaperParameters:
+    def test_processor_sweep(self):
+        assert PROCESSOR_COUNTS == (2, 4, 8, 16, 32)
+
+    def test_amalgamation_sweep(self):
+        assert AMALGAMATIONS == (1, 2, 4, 16)
+
+
+class TestBuildDataset:
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        return build_dataset(scale="tiny")
+
+    def test_cross_product_structure(self, tiny):
+        """matrix x ordering x amalgamation, like the paper's 608 trees."""
+        names = {i.name for i in tiny}
+        assert len(names) == len(tiny)
+        orderings = {i.ordering for i in tiny}
+        caps = {i.amalgamation for i in tiny}
+        assert orderings == {"nd", "md"}
+        assert caps == set(AMALGAMATIONS)
+
+    def test_trees_valid(self, tiny):
+        for inst in tiny:
+            assert isinstance(inst, TreeInstance)
+            assert inst.tree.n >= 16
+            assert inst.tree.total_work() > 0
+
+    def test_shape_diversity(self, tiny):
+        """The set must include both bushy and deep trees."""
+        heights = [i.tree.height() for i in tiny]
+        assert max(heights) > 2 * min(heights)
+
+    def test_amalgamation_coarsens(self, tiny):
+        by_key = {}
+        for i in tiny:
+            by_key[(i.matrix_name, i.ordering, i.amalgamation)] = i.tree.n
+        for (mat, order, cap), n in by_key.items():
+            if cap > 1 and (mat, order, 1) in by_key:
+                assert n <= by_key[(mat, order, 1)]
+
+    def test_deterministic(self):
+        a = build_dataset(scale="tiny", seed=3)
+        b = build_dataset(scale="tiny", seed=3)
+        assert [i.name for i in a] == [i.name for i in b]
+        assert [i.tree.n for i in a] == [i.tree.n for i in b]
+
+    def test_rcm_ordering_available(self):
+        data = build_dataset(scale="tiny", orderings=("rcm",), amalgamations=(1,))
+        assert all(i.ordering == "rcm" for i in data)
+        assert data

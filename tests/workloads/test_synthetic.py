@@ -1,0 +1,74 @@
+"""Tests for the synthetic random-tree generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.tree import TaskTree
+from repro.workloads.synthetic import (
+    caterpillar,
+    complete_kary_tree,
+    deep_tree,
+    flat_tree,
+    random_attachment_tree,
+    random_weighted_tree,
+)
+
+
+class TestParentVectors:
+    def test_uniform_valid(self, rng):
+        for n in (1, 2, 10, 100):
+            parents = random_attachment_tree(n, rng)
+            t = TaskTree.from_parents(parents)
+            assert t.n == n
+
+    def test_bias_controls_depth(self, rng):
+        n = 300
+        deep = TaskTree.from_parents(deep_tree(n, rng)).height()
+        flat = TaskTree.from_parents(flat_tree(n, rng)).height()
+        assert deep > 4 * flat
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            random_attachment_tree(0, rng)
+
+
+class TestShapes:
+    def test_caterpillar(self):
+        t = TaskTree.from_parents(caterpillar(4, 3))
+        assert t.n == 4 + 4 * 3
+        assert t.height() == 4  # spine depth 3 + leg
+
+    def test_caterpillar_no_legs(self):
+        t = TaskTree.from_parents(caterpillar(5, 0))
+        assert t.n == 5
+        assert t.height() == 4
+
+    def test_complete_binary(self):
+        t = TaskTree.from_parents(complete_kary_tree(3, 2))
+        assert t.n == 15
+        assert t.height() == 3
+        assert t.n_leaves() == 8
+
+    def test_complete_kary_degenerate(self):
+        t = TaskTree.from_parents(complete_kary_tree(0, 3))
+        assert t.n == 1
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            caterpillar(0, 2)
+        with pytest.raises(ValueError):
+            complete_kary_tree(-1, 2)
+
+
+class TestWeightedTrees:
+    def test_weight_ranges(self, rng):
+        t = random_weighted_tree(50, rng, max_w=3, max_f=4, max_size=2)
+        assert t.w.max() <= 3 and t.w.min() >= 1
+        assert t.f.max() <= 4 and t.f.min() >= 1
+        assert t.sizes.max() <= 2
+
+    def test_deterministic_given_rng(self):
+        a = random_weighted_tree(30, np.random.default_rng(9))
+        b = random_weighted_tree(30, np.random.default_rng(9))
+        assert np.array_equal(a.parent, b.parent)
+        assert np.array_equal(a.w, b.w)

@@ -1,0 +1,72 @@
+"""Tests for the task-tree serialization format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.workloads.trees_io import TreeFormatError, load_tree, save_tree
+from tests.conftest import task_trees
+
+
+class TestRoundTrip:
+    @given(task_trees(max_nodes=20))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, tree):
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as d:
+            path = f"{d}/t.tree"
+            save_tree(path, tree)
+            loaded = load_tree(path)
+        assert np.array_equal(loaded.parent, tree.parent)
+        assert np.allclose(loaded.w, tree.w)
+        assert np.allclose(loaded.f, tree.f)
+        assert np.allclose(loaded.sizes, tree.sizes)
+
+    def test_gzip(self, paper_example, tmp_path):
+        path = tmp_path / "t.tree.gz"
+        save_tree(path, paper_example)
+        loaded = load_tree(path)
+        assert loaded.n == paper_example.n
+
+    def test_dataset_tree_roundtrip(self, tmp_path):
+        from repro.workloads import build_dataset
+
+        inst = build_dataset(scale="tiny")[0]
+        path = tmp_path / "asm.tree"
+        save_tree(path, inst.tree)
+        loaded = load_tree(path)
+        assert loaded.total_work() == inst.tree.total_work()
+
+
+class TestErrors:
+    def write(self, tmp_path, text):
+        path = tmp_path / "bad.tree"
+        path.write_text(text)
+        return path
+
+    def test_missing_size(self, tmp_path):
+        with pytest.raises(TreeFormatError, match="size line"):
+            load_tree(self.write(tmp_path, "0 -1 1 1 0\n"))
+
+    def test_wrong_columns(self, tmp_path):
+        with pytest.raises(TreeFormatError, match="5 columns"):
+            load_tree(self.write(tmp_path, "n 1\n0 -1 1\n"))
+
+    def test_missing_nodes(self, tmp_path):
+        with pytest.raises(TreeFormatError, match="expected 2"):
+            load_tree(self.write(tmp_path, "n 2\n0 -1 1 1 0\n"))
+
+    def test_out_of_range_id(self, tmp_path):
+        with pytest.raises(TreeFormatError, match="out of range"):
+            load_tree(self.write(tmp_path, "n 1\n5 -1 1 1 0\n"))
+
+    def test_duplicate_size(self, tmp_path):
+        with pytest.raises(TreeFormatError, match="duplicate"):
+            load_tree(self.write(tmp_path, "n 1\nn 1\n0 -1 1 1 0\n"))
+
+    def test_comments_ignored(self, tmp_path):
+        tree = load_tree(
+            self.write(tmp_path, "# hello\nn 1\n# mid comment\n0 -1 2 3 4\n")
+        )
+        assert tree.w[0] == 2 and tree.f[0] == 3 and tree.sizes[0] == 4
