@@ -1,0 +1,191 @@
+"""Scaling benchmark: seed closure-based scheduler vs. the vectorized engine.
+
+Times ParDeepestFirst on random trees of n in {10^3, 10^4, 10^5} through
+two paths:
+
+* **legacy** -- the seed implementation (embedded verbatim below): a
+  heapq event loop driven by a per-node Python priority closure that
+  builds a ``(float, int, int)`` tuple with numpy scalar indexing on
+  every ready insertion;
+* **vectorized** -- the unified engine (:mod:`repro.core.engine`):
+  priorities precomputed as numpy key columns collapsed into one integer
+  rank per node, integer-only heap operations in the sweep.
+
+The reference sequential postorder (shared preprocessing, identical in
+both paths) is computed once outside the timed region and passed in, so
+the measurement isolates the scheduling path the refactor changed. Both
+paths must produce the identical schedule (asserted).
+
+Writes ``BENCH_engine.json`` (repo root by default) so future PRs have a
+perf trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+    PYTHONPATH=src python benchmarks/bench_engine.py --sizes 1000 10000 --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import json
+import platform
+import time
+
+import numpy as np
+
+from repro.core.schedule import Schedule
+from repro.core.tree import NO_PARENT
+from repro.parallel.list_scheduling import postorder_ranks
+from repro.parallel.par_deepest_first import par_deepest_first
+from repro.sequential.postorder import optimal_postorder
+from repro.workloads.synthetic import random_weighted_tree
+
+
+# ----------------------------------------------------------------------
+# the seed closure-based path, embedded verbatim for a stable baseline
+# (including the seed's tree sweeps: the per-call DFS postorder and the
+# numpy-scalar-indexing depth accumulation that the refactor vectorized)
+# ----------------------------------------------------------------------
+def legacy_postorder(tree):
+    n = tree.n
+    order = np.empty(n, dtype=np.int64)
+    idx = 0
+    stack = [(tree.root, 0)]
+    visited = np.zeros(n, dtype=bool)
+    while stack:
+        node, cursor = stack.pop()
+        if visited[node]:
+            raise ValueError("parent structure contains a cycle")
+        kids = tree.children(node)
+        if cursor < len(kids):
+            stack.append((node, cursor + 1))
+            stack.append((kids[cursor], 0))
+        else:
+            visited[node] = True
+            order[idx] = node
+            idx += 1
+    return order[:idx]
+
+
+def legacy_weighted_depths(tree):
+    n = tree.n
+    depth = np.zeros(n, dtype=np.float64)
+    for node in reversed(legacy_postorder(tree)):
+        p = tree.parent[node]
+        depth[node] = tree.w[node] + (depth[p] if p != NO_PARENT else 0.0)
+    return depth
+
+
+def legacy_list_schedule(tree, p, priority):
+    n = tree.n
+    start = np.full(n, -1.0, dtype=np.float64)
+    proc = np.full(n, -1, dtype=np.int64)
+    pending_children = np.array([tree.degree(i) for i in range(n)], dtype=np.int64)
+
+    ready = []
+    for i in range(n):
+        if pending_children[i] == 0:
+            heapq.heappush(ready, (priority(i), i))
+
+    free_procs = list(range(p - 1, -1, -1))
+    events = []
+    now = 0.0
+    scheduled = 0
+    while scheduled < n or events:
+        while free_procs and ready:
+            _, node = heapq.heappop(ready)
+            q = free_procs.pop()
+            start[node] = now
+            proc[node] = q
+            heapq.heappush(events, (now + float(tree.w[node]), node))
+            scheduled += 1
+        if not events:
+            break
+        now, node = heapq.heappop(events)
+        finished = [node]
+        while events and events[0][0] == now:
+            finished.append(heapq.heappop(events)[1])
+        for node in finished:
+            free_procs.append(int(proc[node]))
+            parent = int(tree.parent[node])
+            if parent != NO_PARENT:
+                pending_children[parent] -= 1
+                if pending_children[parent] == 0:
+                    heapq.heappush(ready, (priority(parent), parent))
+    return Schedule(tree, start, proc, p)
+
+
+def legacy_par_deepest_first(tree, p, order):
+    ranks = postorder_ranks(tree, order)
+    wdepth = legacy_weighted_depths(tree)
+
+    def priority(i):
+        return (-float(wdepth[i]), 1 if tree.is_leaf(i) else 0, int(ranks[i]))
+
+    return legacy_list_schedule(tree, p, priority)
+
+
+# ----------------------------------------------------------------------
+def best_of(fn, repeats: int) -> tuple[float, Schedule]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_bench(sizes, p: int, repeats: int, seed: int) -> list[dict]:
+    rows = []
+    for n in sizes:
+        tree = random_weighted_tree(int(n), np.random.default_rng(seed))
+        order = optimal_postorder(tree).order  # shared preprocessing, untimed
+        t_legacy, ref = best_of(lambda: legacy_par_deepest_first(tree, p, order), repeats)
+        t_vec, got = best_of(lambda: par_deepest_first(tree, p, order=order), repeats)
+        assert np.array_equal(got.start, ref.start), "paths diverged"
+        assert np.array_equal(got.proc, ref.proc), "paths diverged"
+        row = {
+            "n": int(n),
+            "p": p,
+            "legacy_s": round(t_legacy, 6),
+            "vectorized_s": round(t_vec, 6),
+            "speedup": round(t_legacy / t_vec, 3),
+        }
+        print(
+            f"n={row['n']:>7d} p={p}  legacy {row['legacy_s']:8.4f}s  "
+            f"vectorized {row['vectorized_s']:8.4f}s  speedup {row['speedup']:5.2f}x"
+        )
+        rows.append(row)
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[10**3, 10**4, 10**5]
+    )
+    parser.add_argument("--processors", type=int, default=32)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=2013)
+    parser.add_argument("--output", default="BENCH_engine.json")
+    args = parser.parse_args(argv)
+    rows = run_bench(args.sizes, args.processors, args.repeats, args.seed)
+    payload = {
+        "benchmark": "engine",
+        "algorithm": "ParDeepestFirst",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "repeats": args.repeats,
+        "seed": args.seed,
+        "results": rows,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,8 +3,10 @@
 
 Public API tour
 ---------------
-* :mod:`repro.core` -- task trees, schedules, the execution simulator,
-  lower bounds;
+* :mod:`repro.core` -- task trees, schedules, the unified event-driven
+  scheduling engine, the execution simulator, lower bounds;
+* :mod:`repro.registry` -- the central algorithm registry
+  (``registry.run("ParDeepestFirst", tree, p)``);
 * :mod:`repro.sequential` -- memory-optimal sequential traversals
   (optimal postorder, Liu's exact algorithm);
 * :mod:`repro.parallel` -- the paper's heuristics (ParSubtrees,
@@ -37,6 +39,7 @@ from repro.core import (
     memory_lower_bound,
     makespan_lower_bound,
 )
+from repro import registry
 from repro.sequential import optimal_postorder, liu_optimal_traversal
 from repro.parallel import (
     par_subtrees,
@@ -49,6 +52,7 @@ from repro.parallel import (
 
 __all__ = [
     "__version__",
+    "registry",
     "TaskTree",
     "Schedule",
     "simulate",

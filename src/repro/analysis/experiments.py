@@ -1,21 +1,33 @@
-"""Experiment runner: heuristics x trees x processor counts -> records.
+"""Batch experiment pipeline: algorithms x trees x processor counts.
 
-One :class:`ScenarioRecord` per (tree, p, heuristic) holds the measured
+One :class:`ScenarioRecord` per (tree, p, algorithm) holds the measured
 makespan and peak memory together with the two lower bounds of
 Section 6.3 (sequential-postorder memory; ``max(W/p, CP)`` makespan).
 Every table and figure of the paper is a pure function of these records,
 implemented in :mod:`repro.analysis.metrics` /
 :mod:`repro.analysis.tables` / :mod:`repro.analysis.figures`.
+
+The runner fans the (tree x p x algorithm) cross product across a
+``multiprocessing`` pool (``workers=N``): one task per tree, dispatched
+in order, so the parallel run produces **byte-identical** records to the
+serial one (property-tested). Records can be streamed to JSONL as each
+tree completes (``stream_to=...``), which bounds memory on large
+campaigns and leaves a resumable on-disk trail; ``save_records`` /
+``load_records`` support both the historical JSON array format and
+append-friendly JSON Lines.
 """
 
 from __future__ import annotations
 
 import json
+import multiprocessing
 from dataclasses import asdict, dataclass
 from typing import Iterable, Sequence
 
+from repro import registry
 from repro.core.bounds import makespan_lower_bound
-from repro.parallel.heuristics import HEURISTICS, run_all
+from repro.core.simulator import simulate
+from repro.parallel.heuristics import HEURISTICS
 from repro.sequential.postorder import optimal_postorder
 from repro.workloads.dataset import TreeInstance, PROCESSOR_COUNTS
 
@@ -46,52 +58,130 @@ class ScenarioRecord:
         return self.makespan / self.makespan_lb if self.makespan_lb > 0 else float("inf")
 
 
+def _instance_records(
+    payload: tuple[TreeInstance, tuple[int, ...], tuple[str, ...], bool],
+) -> list[ScenarioRecord]:
+    """Records of one tree across all processor counts and algorithms.
+
+    Top-level (picklable) so a ``multiprocessing`` pool can execute it;
+    the sequential memory lower bound is computed once per tree and
+    shared across processor counts, exactly as in the paper (the bound
+    does not depend on ``p``).
+    """
+    inst, processor_counts, names, validate = payload
+    mem_lb = optimal_postorder(inst.tree).peak_memory
+    records: list[ScenarioRecord] = []
+    for p in processor_counts:
+        cmax_lb = makespan_lower_bound(inst.tree, p)
+        for name in names:
+            result = simulate(registry.run(name, inst.tree, p), validate=validate)
+            records.append(
+                ScenarioRecord(
+                    tree=inst.name,
+                    n=inst.tree.n,
+                    p=p,
+                    heuristic=name,
+                    makespan=result.makespan,
+                    memory=result.peak_memory,
+                    memory_lb=mem_lb,
+                    makespan_lb=cmax_lb,
+                )
+            )
+    return records
+
+
 def run_experiments(
     instances: Iterable[TreeInstance],
     processor_counts: Sequence[int] = PROCESSOR_COUNTS,
     heuristics: Sequence[str] | None = None,
     validate: bool = False,
     progress: bool = False,
+    workers: int = 1,
+    stream_to: str | None = None,
+    chunksize: int = 1,
 ) -> list[ScenarioRecord]:
     """Run the full cross product of the paper's Section 6 campaign.
 
-    The sequential memory lower bound is computed once per tree and
-    shared across processor counts, exactly as in the paper (the bound
-    does not depend on ``p``).
+    Parameters
+    ----------
+    instances, processor_counts:
+        the scenario grid (default processor sweep: the paper's five).
+    heuristics:
+        algorithm names from :mod:`repro.registry` (default: the four
+        paper heuristics, preserving the historical behaviour).
+    validate:
+        re-check schedule validity inside the simulator (slower).
+    progress:
+        print one line per completed tree.
+    workers:
+        size of the ``multiprocessing`` pool; 1 (default) runs in
+        process. Results are identical for any ``workers`` value --
+        trees are dispatched and collected in order.
+    stream_to:
+        optional ``.jsonl`` path; each tree's records are appended as
+        soon as they are available (the file is truncated first).
+    chunksize:
+        trees per pool task (larger values amortise IPC on big grids).
     """
-    names = list(heuristics) if heuristics is not None else list(HEURISTICS)
+    names = tuple(heuristics) if heuristics is not None else tuple(HEURISTICS)
+    instances = list(instances)
+    if stream_to is not None:
+        if not str(stream_to).endswith(".jsonl"):
+            raise ValueError("stream_to must be a .jsonl path (append-friendly)")
+        open(stream_to, "w").close()  # truncate: the stream restarts
+    payloads = [(inst, tuple(processor_counts), names, validate) for inst in instances]
     records: list[ScenarioRecord] = []
-    for inst in instances:
-        mem_lb = optimal_postorder(inst.tree).peak_memory
-        for p in processor_counts:
-            cmax_lb = makespan_lower_bound(inst.tree, p)
-            results = run_all(inst.tree, p, validate=validate)
-            for name in names:
-                r = results[name]
-                records.append(
-                    ScenarioRecord(
-                        tree=inst.name,
-                        n=inst.tree.n,
-                        p=p,
-                        heuristic=name,
-                        makespan=r.makespan,
-                        memory=r.peak_memory,
-                        memory_lb=mem_lb,
-                        makespan_lb=cmax_lb,
-                    )
-                )
-        if progress:  # pragma: no cover - cosmetic
-            print(f"  done {inst.name} (n={inst.tree.n})")
+
+    def consume(results: Iterable[list[ScenarioRecord]]) -> None:
+        for inst, recs in zip(instances, results):
+            records.extend(recs)
+            if stream_to is not None:
+                save_records(recs, stream_to, append=True)
+            if progress:  # pragma: no cover - cosmetic
+                print(f"  done {inst.name} (n={inst.tree.n})")
+
+    if workers > 1 and payloads:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = multiprocessing.get_context()
+        with ctx.Pool(processes=workers) as pool:
+            # imap (not imap_unordered): chunks complete out of order but
+            # are *collected* in submission order, so the record stream
+            # is byte-identical to the serial run.
+            consume(pool.imap(_instance_records, payloads, chunksize=chunksize))
+    else:
+        consume(map(_instance_records, payloads))
     return records
 
 
-def save_records(records: Sequence[ScenarioRecord], path: str) -> None:
-    """Serialise records to JSON for later analysis / plotting."""
+def save_records(
+    records: Sequence[ScenarioRecord], path: str, append: bool = False
+) -> None:
+    """Serialise records for later analysis / plotting.
+
+    Paths ending in ``.jsonl`` are written as JSON Lines (one record per
+    line), which supports ``append=True`` for chunked streaming; any
+    other path gets the historical indented JSON array.
+    """
+    if str(path).endswith(".jsonl"):
+        with open(path, "a" if append else "w") as fh:
+            for r in records:
+                fh.write(json.dumps(asdict(r)))
+                fh.write("\n")
+        return
+    if append:
+        raise ValueError("append mode requires a .jsonl path")
     with open(path, "w") as fh:
         json.dump([asdict(r) for r in records], fh, indent=1)
 
 
 def load_records(path: str) -> list[ScenarioRecord]:
-    """Load records written by :func:`save_records`."""
+    """Load records written by :func:`save_records` (JSON or JSONL)."""
     with open(path) as fh:
-        return [ScenarioRecord(**row) for row in json.load(fh)]
+        text = fh.read()
+    if text.lstrip().startswith("["):
+        rows = json.loads(text)
+    else:
+        rows = [json.loads(line) for line in text.splitlines() if line.strip()]
+    return [ScenarioRecord(**row) for row in rows]

@@ -5,7 +5,9 @@ Examples
 ::
 
    python -m repro.cli dataset --scale tiny
-   python -m repro.cli table1 --scale small
+   python -m repro.cli algos
+   python -m repro.cli run --algo ParDeepestFirst --scale small
+   python -m repro.cli table1 --scale small --workers 4
    python -m repro.cli figure --which 6 --scale small
    python -m repro.cli theory
    python -m repro.cli memory-cap --scale tiny
@@ -51,7 +53,9 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         f"x 4 heuristics ...",
         file=sys.stderr,
     )
-    records = run_experiments(instances, processor_counts, progress=args.verbose)
+    records = run_experiments(
+        instances, processor_counts, progress=args.verbose, workers=args.workers
+    )
     stats = compute_table1_stats(records)
     print(render_table1(stats))
     if args.output:
@@ -69,7 +73,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.workloads import build_dataset
 
     instances = build_dataset(scale=args.scale)
-    records = run_experiments(instances, tuple(args.processors))
+    records = run_experiments(instances, tuple(args.processors), workers=args.workers)
     data = figure_data(records, args.which)
     titles = {
         6: "Figure 6: comparison to lower bounds",
@@ -200,7 +204,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.workloads import build_dataset
 
     instances = build_dataset(scale=args.scale)
-    records = run_experiments(instances, tuple(args.processors))
+    records = run_experiments(instances, tuple(args.processors), workers=args.workers)
     text = build_report(records, instances)
     if args.output:
         with open(args.output, "w") as fh:
@@ -231,6 +235,50 @@ def _cmd_memory_cap(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_algos(args: argparse.Namespace) -> int:
+    from repro import registry
+
+    print(f"{'name':<24s} {'kind':<11s} {'params':<28s} description")
+    for algo in registry.algorithms():
+        params = ", ".join(f"{k}={v}" for k, v in algo.params.items()) or "-"
+        print(f"{algo.name:<24s} {algo.kind:<11s} {params:<28s} {algo.doc}")
+    print(f"total: {len(registry.names())} algorithms")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro import registry
+    from repro.core import memory_lower_bound, simulate
+    from repro.core.bounds import makespan_lower_bound
+    from repro.workloads import build_dataset
+
+    try:
+        algo = registry.get(args.algo)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    instances = build_dataset(scale=args.scale)
+    if args.limit:
+        instances = instances[: args.limit]
+    # Sequential traversals run on one processor regardless of the sweep.
+    counts = tuple(args.processors) if algo.kind == "parallel" else (1,)
+    print(
+        f"{'tree':<28s} {'p':>3s} {'makespan':>12s} {'Cmax/LB':>8s} "
+        f"{'memory':>12s} {'mem/Mseq':>9s}"
+    )
+    for inst in instances:
+        mseq = memory_lower_bound(inst.tree)
+        for p in counts:
+            sim = simulate(algo.run(inst.tree, p), validate=args.verbose)
+            cmax_lb = makespan_lower_bound(inst.tree, p)
+            print(
+                f"{inst.name:<28s} {p:>3d} {sim.makespan:>12.5g} "
+                f"{sim.makespan / cmax_lb:>8.3f} {sim.peak_memory:>12.5g} "
+                f"{sim.peak_memory / mseq:>9.3f}"
+            )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of ``python -m repro.cli`` / the ``repro-trees`` script."""
     parser = argparse.ArgumentParser(
@@ -241,7 +289,9 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(sp: argparse.ArgumentParser) -> None:
-        sp.add_argument("--scale", default="small", choices=("tiny", "small", "medium"))
+        sp.add_argument(
+            "--scale", default="small", choices=("tiny", "small", "medium", "large")
+        )
         sp.add_argument(
             "--processors",
             type=int,
@@ -250,11 +300,26 @@ def main(argv: list[str] | None = None) -> int:
             help="processor counts (paper: 2 4 8 16 32)",
         )
         sp.add_argument("--output", default=None, help="write CSV/JSON here")
+        sp.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="multiprocessing pool size for the experiment sweep",
+        )
         sp.add_argument("--verbose", action="store_true")
 
     sp = sub.add_parser("dataset", help="list the assembly-tree data set")
     add_common(sp)
     sp.set_defaults(func=_cmd_dataset)
+
+    sp = sub.add_parser("algos", help="list the algorithm registry")
+    sp.set_defaults(func=_cmd_algos)
+
+    sp = sub.add_parser("run", help="run any registry algorithm on the data set")
+    add_common(sp)
+    sp.add_argument("--algo", required=True, help="registry name (see `algos`)")
+    sp.add_argument("--limit", type=int, default=0, help="number of trees (0 = all)")
+    sp.set_defaults(func=_cmd_run)
 
     sp = sub.add_parser("table1", help="regenerate Table 1")
     add_common(sp)

@@ -2,6 +2,13 @@
 
 from .tree import TaskTree, NO_PARENT
 from .schedule import Schedule, ScheduledTask
+from .engine import (
+    EngineState,
+    MemoryCapError,
+    SchedulerEngine,
+    lex_rank,
+    rank_from_callable,
+)
 from .simulator import (
     SimulationResult,
     simulate,
@@ -19,6 +26,11 @@ __all__ = [
     "NO_PARENT",
     "Schedule",
     "ScheduledTask",
+    "EngineState",
+    "MemoryCapError",
+    "SchedulerEngine",
+    "lex_rank",
+    "rank_from_callable",
     "SimulationResult",
     "simulate",
     "peak_memory",

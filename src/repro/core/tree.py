@@ -65,6 +65,9 @@ class TaskTree:
     _children: tuple[tuple[int, ...], ...] = field(
         init=False, repr=False, compare=False, default=None  # type: ignore[assignment]
     )
+    _postorder: tuple[int, ...] = field(
+        init=False, repr=False, compare=False, default=None  # type: ignore[assignment]
+    )
 
     # ------------------------------------------------------------------
     # construction
@@ -102,10 +105,21 @@ class TaskTree:
         )
         # Reject cycles / forests disguised as trees: a connected structure
         # with n nodes, n-1 edges and one root is a tree iff every node
-        # reaches the root, which the postorder computation verifies.
-        order = self.postorder()
-        if order.shape[0] != n:
+        # reaches the root, which the postorder computation verifies. The
+        # order is cached -- the heuristics' priority sweeps all start
+        # from it.
+        root = int(np.flatnonzero(parent == NO_PARENT)[0])
+        out: list[int] = []
+        stack: list[int] = [root]
+        kids = self._children
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(kids[node])
+        if len(out) != n:
             raise ValueError("parent structure contains a cycle")
+        out.reverse()
+        object.__setattr__(self, "_postorder", tuple(out))
 
     @classmethod
     def from_parents(
@@ -175,15 +189,19 @@ class TaskTree:
         """True iff node ``i`` has no children."""
         return not self._children[i]
 
+    def leaf_mask(self) -> np.ndarray:
+        """Boolean mask over all nodes, True at leaves (vectorized)."""
+        mask = np.ones(self.n, dtype=bool)
+        mask[self.parent[self.parent != NO_PARENT]] = False
+        return mask
+
     def leaves(self) -> np.ndarray:
         """Indices of all leaf nodes, ascending."""
-        return np.asarray(
-            [i for i in range(self.n) if not self._children[i]], dtype=np.int64
-        )
+        return np.flatnonzero(self.leaf_mask())
 
     def n_leaves(self) -> int:
         """Number of leaf nodes."""
-        return sum(1 for i in range(self.n) if not self._children[i])
+        return int(self.leaf_mask().sum())
 
     def degree(self, i: int) -> int:
         """Number of children of node ``i``."""
@@ -201,44 +219,33 @@ class TaskTree:
 
         The order visits children in index order; it is *a* valid
         topological order, not the memory-optimal one (see
-        :mod:`repro.sequential.postorder` for that).
+        :mod:`repro.sequential.postorder` for that). Computed once at
+        construction (iteratively, so the paper's deep trees -- depth up
+        to 70 000 -- never hit Python's recursion limit) and cached.
         """
-        n = self.n
-        order = np.empty(n, dtype=np.int64)
-        idx = 0
-        # Iterative DFS with explicit child cursor to avoid recursion limits
-        # on the paper's deep trees (depth up to 70 000).
-        stack: list[tuple[int, int]] = [(self.root, 0)]
-        visited = np.zeros(n, dtype=bool)
-        while stack:
-            node, cursor = stack.pop()
-            if visited[node]:
-                raise ValueError("parent structure contains a cycle")
-            kids = self._children[node]
-            if cursor < len(kids):
-                stack.append((node, cursor + 1))
-                stack.append((kids[cursor], 0))
-            else:
-                visited[node] = True
-                order[idx] = node
-                idx += 1
-                if idx > n:  # pragma: no cover - defensive
-                    raise ValueError("cycle detected")
-        return order[:idx]
+        return np.asarray(self._postorder, dtype=np.int64)
 
     def topological_order(self) -> np.ndarray:
         """Alias for :meth:`postorder` (any child-before-parent order)."""
         return self.postorder()
 
     def depths(self) -> np.ndarray:
-        """Edge-count depth of every node (root has depth 0)."""
+        """Edge-count depth of every node (root has depth 0).
+
+        Pointer doubling: ``O(n log height)`` in fully vectorized
+        sweeps (``depth[i]`` always counts the edges from ``i`` to
+        ``anc[i]``, the clamped :math:`2^k`-th ancestor).
+        """
         n = self.n
-        depth = np.zeros(n, dtype=np.int64)
-        for node in reversed(self.postorder()):  # parents before children
-            p = self.parent[node]
-            if p != NO_PARENT:
-                depth[node] = depth[p] + 1
-        return depth
+        parent = self.parent
+        anc = np.where(parent == NO_PARENT, np.arange(n, dtype=np.int64), parent)
+        depth = (parent != NO_PARENT).astype(np.int64)
+        while True:
+            anc2 = anc[anc]
+            if np.array_equal(anc2, anc):
+                return depth
+            depth += depth[anc]
+            anc = anc2
 
     def height(self) -> int:
         """Height of the tree in edges (0 for a single node)."""
@@ -252,29 +259,51 @@ class TaskTree:
         start of the critical path.
         """
         n = self.n
-        depth = np.zeros(n, dtype=np.float64)
-        for node in reversed(self.postorder()):
-            p = self.parent[node]
-            depth[node] = self.w[node] + (depth[p] if p != NO_PARENT else 0.0)
-        return depth
+        depth = self.depths()
+        height = int(depth.max()) if n else 0
+        if height + 1 <= max(64, n // 16):
+            # Level-synchronous: one vectorized gather-add per depth
+            # level (each node receives exactly w[i] + wdepth[parent],
+            # the same single addition as the sequential sweep).
+            order = np.argsort(depth, kind="stable")
+            counts = np.bincount(depth, minlength=height + 1)
+            wdepth = self.w.copy()
+            parent = self.parent
+            pos = int(counts[0])  # the depth-0 level is the root alone
+            for c in counts[1:]:
+                nodes = order[pos : pos + c]
+                wdepth[nodes] += wdepth[parent[nodes]]
+                pos += c
+            return wdepth
+        # Deep (chain-like) trees: levels are too narrow for numpy
+        # calls to pay off; fall back to the list-based sweep.
+        parent_l = self.parent.tolist()
+        w = self.w.tolist()
+        out = [0.0] * n
+        for node in reversed(self._postorder):
+            p = parent_l[node]
+            out[node] = w[node] + (out[p] if p != NO_PARENT else 0.0)
+        return np.asarray(out, dtype=np.float64)
 
     def subtree_work(self) -> np.ndarray:
         """Total processing time of each subtree (``W_i`` in Section 5.1)."""
-        work = self.w.copy()
-        for node in self.postorder():
-            p = self.parent[node]
+        parent = self.parent.tolist()
+        work = self.w.tolist()
+        for node in self._postorder:
+            p = parent[node]
             if p != NO_PARENT:
                 work[p] += work[node]
-        return work
+        return np.asarray(work, dtype=np.float64)
 
     def subtree_sizes(self) -> np.ndarray:
         """Number of nodes in each subtree (including the subtree root)."""
-        size = np.ones(self.n, dtype=np.int64)
-        for node in self.postorder():
-            p = self.parent[node]
+        parent = self.parent.tolist()
+        size = [1] * self.n
+        for node in self._postorder:
+            p = parent[node]
             if p != NO_PARENT:
                 size[p] += size[node]
-        return size
+        return np.asarray(size, dtype=np.int64)
 
     def subtree_nodes(self, i: int) -> np.ndarray:
         """All node indices in the subtree rooted at ``i`` (preorder)."""

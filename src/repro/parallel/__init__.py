@@ -1,10 +1,15 @@
-"""Parallel scheduling heuristics (Section 5 of the paper)."""
+"""Parallel scheduling heuristics (Section 5 of the paper).
+
+All list-style heuristics here are thin configurations of the unified
+event engine in :mod:`repro.core.engine`; the canonical catalogue of
+every algorithm (with metadata) is :mod:`repro.registry`.
+"""
 
 from .list_scheduling import list_schedule, postorder_ranks
 from .split_subtrees import SplitResult, split_subtrees
 from .par_subtrees import par_subtrees, par_subtrees_optim
-from .par_inner_first import par_inner_first
-from .par_deepest_first import par_deepest_first
+from .par_inner_first import par_inner_first, par_inner_first_rank
+from .par_deepest_first import par_deepest_first, par_deepest_first_rank
 from .memory_bounded import MemoryCapError, memory_bounded_schedule
 from .memory_aware_subtrees import par_subtrees_memory_aware, predicted_parallel_memory
 from .heuristics import HEURISTICS, HeuristicResult, evaluate, run_all
@@ -18,7 +23,9 @@ __all__ = [
     "par_subtrees",
     "par_subtrees_optim",
     "par_inner_first",
+    "par_inner_first_rank",
     "par_deepest_first",
+    "par_deepest_first_rank",
     "MemoryCapError",
     "memory_bounded_schedule",
     "par_subtrees_memory_aware",

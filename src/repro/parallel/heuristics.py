@@ -1,9 +1,13 @@
-"""Registry of the paper's heuristics, for the experiment harness.
+"""The paper's heuristics, as a thin view over the central registry.
 
-Each entry maps the paper's heuristic name to a callable
-``(tree, p) -> Schedule``. The ``evaluate`` helper runs one heuristic
-and returns the (makespan, peak memory) pair measured by the simulator,
-which is what every table and figure of Section 6 is built from.
+The canonical algorithm catalogue lives in :mod:`repro.registry`;
+``HEURISTICS`` here remains the historical mapping of the four Section 5
+heuristics (in the paper's presentation order) to their
+``(tree, p) -> Schedule`` callables, because the experiment harness and
+a large body of tests key on it. The ``evaluate`` helper runs one
+heuristic and returns the (makespan, peak memory) pair measured by the
+simulator, which is what every table and figure of Section 6 is built
+from.
 """
 
 from __future__ import annotations
@@ -11,22 +15,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import registry
 from repro.core.schedule import Schedule
 from repro.core.simulator import simulate
 from repro.core.tree import TaskTree
-
-from .par_subtrees import par_subtrees, par_subtrees_optim
-from .par_inner_first import par_inner_first
-from .par_deepest_first import par_deepest_first
 
 __all__ = ["HEURISTICS", "HeuristicResult", "evaluate", "run_all"]
 
 #: The four heuristics of Section 5, in the paper's presentation order.
 HEURISTICS: dict[str, Callable[[TaskTree, int], Schedule]] = {
-    "ParSubtrees": par_subtrees,
-    "ParSubtreesOptim": par_subtrees_optim,
-    "ParInnerFirst": par_inner_first,
-    "ParDeepestFirst": par_deepest_first,
+    name: registry.get(name).fn
+    for name in ("ParSubtrees", "ParSubtreesOptim", "ParInnerFirst", "ParDeepestFirst")
 }
 
 
@@ -42,10 +41,11 @@ class HeuristicResult:
 def evaluate(name: str, tree: TaskTree, p: int, validate: bool = False) -> HeuristicResult:
     """Run heuristic ``name`` on ``(tree, p)`` and measure it.
 
+    Any registry algorithm name is accepted, not just the paper's four.
     ``validate=True`` re-checks schedule validity (slower; the test
     suite exercises this path, the benchmark harness skips it).
     """
-    schedule = HEURISTICS[name](tree, p)
+    schedule = registry.run(name, tree, p)
     result = simulate(schedule, validate=validate)
     return HeuristicResult(name=name, makespan=result.makespan, peak_memory=result.peak_memory)
 

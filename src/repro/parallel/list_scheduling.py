@@ -1,24 +1,33 @@
-"""Event-based list scheduling (Algorithm 3 of the paper).
+"""Event-based list scheduling (Algorithm 3 of the paper) -- front end.
 
-A generic scheduler driven by task-completion events: whenever a task
-finishes, its parent may become ready; every idle processor is then given
-the head of a priority queue of ready tasks. The priority queue order is
-the only thing distinguishing ParInnerFirst, ParDeepestFirst and the
-memory-bounded extension, so they all share this engine.
+The actual event sweep lives in :mod:`repro.core.engine`
+(:class:`~repro.core.engine.SchedulerEngine`); this module keeps the
+historical entry point :func:`list_schedule` as a thin configuration of
+it, plus the :func:`postorder_ranks` helper shared by the heuristics.
 
-Complexity is :math:`O(n \\log n)` (binary heaps for both the event set
-and the ready queue), matching the paper's analysis.
+``list_schedule`` accepts priorities in two forms:
+
+* a **numpy integer rank array** (a permutation of ``0..n-1``, usually
+  from :func:`repro.core.engine.lex_rank` over vectorized key columns)
+  -- the fast path: heuristic setup is one vectorized sweep and the
+  event loop does O(log n) integer heap operations only;
+* a legacy **per-node callable** ``i -> tuple`` -- converted once to a
+  rank array via :func:`repro.core.engine.rank_from_callable`, which
+  reproduces the historical ``(priority(i), i)`` heap order bit for bit.
+
+Complexity is :math:`O(n \\log n)` either way, matching the paper's
+analysis.
 """
 
 from __future__ import annotations
 
-import heapq
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.core.engine import SchedulerEngine, rank_from_callable
 from repro.core.schedule import Schedule
-from repro.core.tree import TaskTree, NO_PARENT
+from repro.core.tree import TaskTree
 
 __all__ = ["list_schedule", "PriorityKey"]
 
@@ -30,7 +39,7 @@ PriorityKey = Callable[[int], tuple]
 def list_schedule(
     tree: TaskTree,
     p: int,
-    priority: PriorityKey,
+    priority: PriorityKey | np.ndarray,
 ) -> Schedule:
     """Schedule ``tree`` on ``p`` processors by list scheduling.
 
@@ -41,8 +50,9 @@ def list_schedule(
     p:
         number of identical processors.
     priority:
-        key function over node indices; the ready task with the smallest
-        key runs first. Keys are computed once per node, at insertion.
+        either an integer rank array (one rank per node, smallest rank
+        runs first) or a legacy key function over node indices. Keys
+        are fixed per node; both forms yield the identical schedule.
 
     Returns
     -------
@@ -52,51 +62,11 @@ def list_schedule(
         schedules it is a :math:`(2 - 1/p)`-approximation of the optimal
         makespan (Graham's bound).
     """
-    if p < 1:
-        raise ValueError("p must be positive")
-    n = tree.n
-    start = np.full(n, -1.0, dtype=np.float64)
-    proc = np.full(n, -1, dtype=np.int64)
-    pending_children = np.array([tree.degree(i) for i in range(n)], dtype=np.int64)
-
-    ready: list[tuple[tuple, int]] = []
-    for i in range(n):
-        if pending_children[i] == 0:
-            heapq.heappush(ready, (priority(i), i))
-
-    free_procs = list(range(p - 1, -1, -1))  # pop() yields processor 0 first
-    # Event set keyed by completion time; ties resolved by node index for
-    # determinism.
-    events: list[tuple[float, int]] = []
-    now = 0.0
-    scheduled = 0
-    while scheduled < n or events:
-        # Assign every idle processor the current head of the ready queue.
-        while free_procs and ready:
-            _, node = heapq.heappop(ready)
-            q = free_procs.pop()
-            start[node] = now
-            proc[node] = q
-            heapq.heappush(events, (now + float(tree.w[node]), node))
-            scheduled += 1
-        if not events:
-            if scheduled < n:  # pragma: no cover - defensive
-                raise RuntimeError("deadlock: tasks left but no event pending")
-            break
-        # Advance to the next completion event; process all completions at
-        # that instant before assigning again.
-        now, node = heapq.heappop(events)
-        finished = [node]
-        while events and events[0][0] == now:
-            finished.append(heapq.heappop(events)[1])
-        for node in finished:
-            free_procs.append(int(proc[node]))
-            parent = int(tree.parent[node])
-            if parent != NO_PARENT:
-                pending_children[parent] -= 1
-                if pending_children[parent] == 0:
-                    heapq.heappush(ready, (priority(parent), parent))
-    return Schedule(tree, start, proc, p)
+    if callable(priority):
+        rank = rank_from_callable(tree, priority)
+    else:
+        rank = np.asarray(priority, dtype=np.int64)
+    return SchedulerEngine(tree, p, rank).run()
 
 
 def postorder_ranks(tree: TaskTree, order: Sequence[int] | None = None) -> np.ndarray:

@@ -1,9 +1,10 @@
 """Memory-capped list scheduling -- the paper's future-work extension.
 
 The conclusion of the paper calls for "scheduling algorithms that take
-as input a cap on the memory usage". This module implements an
-event-driven scheduler that never lets the resident memory exceed a user
-cap, built around an *activation order* :math:`\\sigma` (a sequential
+as input a cap on the memory usage". This module configures the unified
+event-driven engine (:class:`repro.core.engine.SchedulerEngine`) with
+memory accounting so that the resident memory never exceeds a user cap,
+built around an *activation order* :math:`\\sigma` (a sequential
 traversal, by default the memory-optimal postorder):
 
 * **strict mode** -- tasks *start* exactly in :math:`\\sigma` order; a
@@ -24,18 +25,13 @@ Both modes trade makespan for memory: sweeping the cap between
 
 from __future__ import annotations
 
-import heapq
-
 import numpy as np
 
+from repro.core.engine import MemoryCapError, SchedulerEngine
 from repro.core.schedule import Schedule
-from repro.core.tree import TaskTree, NO_PARENT
+from repro.core.tree import TaskTree
 
 __all__ = ["MemoryCapError", "memory_bounded_schedule"]
-
-
-class MemoryCapError(RuntimeError):
-    """Raised when no task fits under the cap and none is running."""
 
 
 def memory_bounded_schedule(
@@ -66,98 +62,12 @@ def memory_bounded_schedule(
         if the scheduler gets stuck: no running task and no startable
         task fits under the cap.
     """
-    if mode not in ("strict", "opportunistic"):
-        raise ValueError(f"unknown mode {mode!r}")
-    if p < 1:
-        raise ValueError("p must be positive")
     if order is None:
         from repro.sequential.postorder import optimal_postorder
 
         order = optimal_postorder(tree).order
     order = np.asarray(order, dtype=np.int64)
-    n = tree.n
-    rank = np.empty(n, dtype=np.int64)
-    rank[order] = np.arange(n)
-
-    start = np.full(n, -1.0, dtype=np.float64)
-    proc = np.full(n, -1, dtype=np.int64)
-    pending_children = np.array([tree.degree(i) for i in range(n)], dtype=np.int64)
-    alloc = tree.sizes + tree.f
-    free_on_end = tree.sizes.copy()
-    for i in range(n):
-        for j in tree.children(i):
-            free_on_end[i] += tree.f[j]
-
-    ready: list[tuple[int, int]] = []  # (sigma rank, node)
-    for i in range(n):
-        if pending_children[i] == 0:
-            heapq.heappush(ready, (int(rank[i]), i))
-
-    free_procs = list(range(p - 1, -1, -1))
-    events: list[tuple[float, int]] = []
-    mem = 0.0
-    now = 0.0
-    started = 0
-    next_sigma = 0  # index into `order` of the first unstarted task
-
-    def try_start() -> None:
-        nonlocal mem, started, next_sigma
-        while free_procs and ready:
-            if mode == "strict":
-                node = int(order[next_sigma])
-                if pending_children[node] > 0 or mem + alloc[node] > cap + 1e-9:
-                    return
-                # Remove it from the ready heap (it is necessarily the
-                # smallest rank present).
-                popped = heapq.heappop(ready)
-                assert popped[1] == node
-            else:
-                skipped: list[tuple[int, int]] = []
-                node = -1
-                while ready:
-                    r, cand = heapq.heappop(ready)
-                    if mem + alloc[cand] <= cap + 1e-9:
-                        node = cand
-                        break
-                    skipped.append((r, cand))
-                for item in skipped:
-                    heapq.heappush(ready, item)
-                if node < 0:
-                    return
-            q = free_procs.pop()
-            start[node] = now
-            proc[node] = q
-            mem += float(alloc[node])
-            heapq.heappush(events, (now + float(tree.w[node]), node))
-            started += 1
-            while next_sigma < n and start[int(order[next_sigma])] >= 0:
-                next_sigma += 1
-
-    try_start()
-    while started < n or events:
-        if not events:
-            running = False
-        else:
-            running = True
-        if not running:
-            node = int(order[next_sigma])
-            raise MemoryCapError(
-                f"cap {cap:g} infeasible: task {node} needs "
-                f"{mem + alloc[node]:g} with nothing running "
-                f"(mode={mode}; sequential peak of the activation order "
-                f"is a feasible cap in strict mode)"
-            )
-        now, node = heapq.heappop(events)
-        finished = [node]
-        while events and events[0][0] == now:
-            finished.append(heapq.heappop(events)[1])
-        for node in finished:
-            free_procs.append(int(proc[node]))
-            mem -= float(free_on_end[node])
-            parent = int(tree.parent[node])
-            if parent != NO_PARENT:
-                pending_children[parent] -= 1
-                if pending_children[parent] == 0:
-                    heapq.heappush(ready, (int(rank[parent]), parent))
-        try_start()
-    return Schedule(tree, start, proc, p)
+    # The ready queue is prioritised by sigma rank in both modes.
+    rank = np.empty(tree.n, dtype=np.int64)
+    rank[order] = np.arange(tree.n)
+    return SchedulerEngine(tree, p, rank, cap=cap, order=order, mode=mode).run()

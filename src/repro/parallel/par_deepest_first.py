@@ -10,6 +10,10 @@ node of the critical path. Priorities:
    postorder ``O`` -- a "reasonable" order that avoids alternating
    between leaves of different parents, which would hurt memory.
 
+The priority is built as vectorized numpy key columns collapsed into a
+single integer rank per node (:func:`repro.core.engine.lex_rank`), so
+the setup is one numpy sweep and the event loop stays integer-only.
+
 Focusing entirely on the makespan, its memory usage is unbounded
 relative to the sequential optimum (Figure 5, reproduced in the theory
 benchmarks), but its makespan is near-optimal in practice (Table 1:
@@ -20,11 +24,26 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.engine import lex_rank
 from repro.core.schedule import Schedule
 from repro.core.tree import TaskTree
 from .list_scheduling import list_schedule, postorder_ranks
 
-__all__ = ["par_deepest_first"]
+__all__ = ["par_deepest_first", "par_deepest_first_rank"]
+
+
+def par_deepest_first_rank(
+    tree: TaskTree, order: np.ndarray | None = None
+) -> np.ndarray:
+    """Priority rank of every node under the ParDeepestFirst order.
+
+    Equivalent to the historical per-node key
+    ``(-wdepth, is_leaf, rank_in_O)``.
+    """
+    ranks = postorder_ranks(tree, order)
+    wdepth = tree.weighted_depths()
+    leaf = tree.leaf_mask()
+    return lex_rank(-wdepth, leaf.astype(np.int64), ranks)
 
 
 def par_deepest_first(
@@ -42,14 +61,4 @@ def par_deepest_first(
         the reference sequential order ``O`` used to break ties among
         equal-depth leaves (default: Liu's optimal postorder).
     """
-    ranks = postorder_ranks(tree, order)
-    wdepth = tree.weighted_depths()
-
-    def priority(i: int) -> tuple:
-        return (
-            -float(wdepth[i]),
-            1 if tree.is_leaf(i) else 0,
-            int(ranks[i]),
-        )
-
-    return list_schedule(tree, p, priority)
+    return list_schedule(tree, p, par_deepest_first_rank(tree, order))

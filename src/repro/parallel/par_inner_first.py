@@ -10,6 +10,10 @@ order: (a) inner nodes before leaves, inner nodes by non-increasing
 depth; (b) leaves in the order of a reference sequential postorder ``O``
 (the memory-optimal one, so that rule 2's leaf locality is inherited).
 
+The priority is built as vectorized numpy key columns collapsed into a
+single integer rank per node (:func:`repro.core.engine.lex_rank`), so
+the setup is one numpy sweep and the event loop stays integer-only.
+
 With one processor this reproduces ``O`` exactly (tested); with ``p``
 processors it is a list schedule, hence a :math:`(2-1/p)`-approximation
 for the makespan; its memory usage is *unbounded* relative to the
@@ -20,11 +24,31 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.engine import lex_rank
 from repro.core.schedule import Schedule
 from repro.core.tree import TaskTree
 from .list_scheduling import list_schedule, postorder_ranks
 
-__all__ = ["par_inner_first"]
+__all__ = ["par_inner_first", "par_inner_first_rank"]
+
+
+def par_inner_first_rank(
+    tree: TaskTree, order: np.ndarray | None = None
+) -> np.ndarray:
+    """Priority rank of every node under the ParInnerFirst order.
+
+    Equivalent to the historical per-node key: leaves sort as
+    ``(1, rank_in_O, node)``, inner nodes as ``(0, -depth, rank_in_O)``.
+    """
+    ranks = postorder_ranks(tree, order)
+    depth = tree.depths()
+    leaf = tree.leaf_mask()
+    n = tree.n
+    return lex_rank(
+        leaf.astype(np.int64),  # inner nodes before leaves
+        np.where(leaf, ranks, -depth),  # leaves in O; inner by depth
+        np.where(leaf, np.arange(n, dtype=np.int64), ranks),
+    )
 
 
 def par_inner_first(
@@ -42,14 +66,4 @@ def par_inner_first(
         the reference sequential order ``O`` (default: Liu's optimal
         postorder, as in the paper).
     """
-    ranks = postorder_ranks(tree, order)
-    depth = tree.depths()
-
-    def priority(i: int) -> tuple:
-        if tree.is_leaf(i):
-            # Leaves come after every inner node, in O's order.
-            return (1, int(ranks[i]), i)
-        # Inner nodes by non-increasing depth.
-        return (0, -int(depth[i]), int(ranks[i]))
-
-    return list_schedule(tree, p, priority)
+    return list_schedule(tree, p, par_inner_first_rank(tree, order))

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.engine import lex_rank
 from repro.core.schedule import Schedule
 from repro.core.tree import TaskTree
 from .list_scheduling import list_schedule, postorder_ranks
@@ -27,30 +28,29 @@ __all__ = ["par_inner_first_naive_order", "par_hop_deepest_first", "VARIANTS"]
 
 def par_inner_first_naive_order(tree: TaskTree, p: int) -> Schedule:
     """ParInnerFirst with a naive (index-order) postorder as ``O``."""
-    ranks = postorder_ranks(tree, tree.postorder())
-    depth = tree.depths()
+    from .par_inner_first import par_inner_first_rank
 
-    def priority(i: int) -> tuple:
-        if tree.is_leaf(i):
-            return (1, int(ranks[i]), i)
-        return (0, -int(depth[i]), int(ranks[i]))
-
-    return list_schedule(tree, p, priority)
+    return list_schedule(tree, p, par_inner_first_rank(tree, tree.postorder()))
 
 
 def par_hop_deepest_first(tree: TaskTree, p: int) -> Schedule:
-    """ParDeepestFirst with hop-count depth instead of w-weighted depth."""
+    """ParDeepestFirst with hop-count depth instead of w-weighted depth.
+
+    An inner node counts one hop deeper than its edge depth: hop depth
+    ignores the work still ahead of a ready node, so without the boost a
+    ready inner node at depth ``d`` would lose to any leaf at depth
+    ``d+1`` even though completing the inner node is what unlocks its
+    ancestors. The boost extends the paper's "inner nodes before leaves"
+    tie-break (rule 2 of ParDeepestFirst) across adjacent depth classes:
+    an inner node at depth ``d`` ties with leaves at depth ``d+1`` and
+    wins the tie. (An earlier revision computed this term as
+    ``0 if leaf else 0`` -- a no-op; pinned by a regression test.)
+    """
     ranks = postorder_ranks(tree)
     depth = tree.depths()
-
-    def priority(i: int) -> tuple:
-        return (
-            -int(depth[i]) - (0 if tree.is_leaf(i) else 0),
-            1 if tree.is_leaf(i) else 0,
-            int(ranks[i]),
-        )
-
-    return list_schedule(tree, p, priority)
+    leaf = tree.leaf_mask()
+    eff_depth = depth + np.where(leaf, 0, 1)
+    return list_schedule(tree, p, lex_rank(-eff_depth, leaf.astype(np.int64), ranks))
 
 
 #: variant name -> (base heuristic name, variant callable)

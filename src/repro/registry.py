@@ -1,0 +1,200 @@
+"""Central algorithm registry: one catalogue of every scheduler.
+
+Historically the algorithm catalogue was scattered: the four paper
+heuristics lived in ``parallel/heuristics.py::HEURISTICS``, the ablation
+variants in ``parallel/variants.py::VARIANTS``, and the sequential
+traversals plus the memory-capped extension were wired into the CLI by
+ad-hoc per-command imports. This module is now the single source of
+truth; the old names remain as thin views over it.
+
+Every entry is an :class:`Algorithm` with metadata (name, kind, tunable
+parameters with defaults, one-line doc) and a uniform ``run(tree, p)``
+entry point returning a :class:`~repro.core.schedule.Schedule`:
+
+* ``kind="parallel"`` algorithms are called as ``fn(tree, p, **params)``;
+* ``kind="sequential"`` algorithms are traversals ``fn(tree, **params)``
+  returning a :class:`~repro.sequential.traversal.TraversalResult`,
+  wrapped into the back-to-back one-processor schedule.
+
+The registry is populated lazily on first access so that importing
+:mod:`repro.registry` never drags in the whole package (and so that the
+heuristic modules may themselves import this module without cycles).
+
+>>> from repro import registry
+>>> sorted(registry.names("sequential"))
+['liu_optimal_traversal', 'natural_postorder', 'optimal_postorder']
+>>> registry.run("ParDeepestFirst", tree, p=4)    # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.core.schedule import Schedule
+from repro.core.tree import TaskTree
+
+__all__ = ["Algorithm", "register", "get", "names", "algorithms", "run"]
+
+
+@dataclass(frozen=True)
+class Algorithm:
+    """One registered scheduling algorithm and its metadata.
+
+    Attributes
+    ----------
+    name:
+        registry key (the paper's name for parallel heuristics, the
+        function name for sequential traversals).
+    kind:
+        ``"parallel"`` (``fn(tree, p, **params)`` -> Schedule) or
+        ``"sequential"`` (``fn(tree, **params)`` -> TraversalResult).
+    fn:
+        the underlying callable.
+    params:
+        tunable keyword parameters with their defaults; ``run`` accepts
+        overrides for exactly these keys.
+    doc:
+        one-line description shown by ``repro algos``.
+    """
+
+    name: str
+    kind: str
+    fn: Callable[..., Any]
+    params: Mapping[str, Any] = field(default_factory=dict)
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("sequential", "parallel"):
+            raise ValueError(f"unknown kind {self.kind!r}")
+
+    def run(self, tree: TaskTree, p: int = 1, **overrides: Any) -> Schedule:
+        """Run the algorithm on ``(tree, p)`` and return its schedule.
+
+        Sequential traversals execute back-to-back on processor 0 of the
+        ``p``-processor platform. ``overrides`` must be a subset of the
+        registered ``params``.
+        """
+        unknown = set(overrides) - set(self.params)
+        if unknown:
+            raise TypeError(
+                f"{self.name} accepts params {sorted(self.params)}, "
+                f"got unknown {sorted(unknown)}"
+            )
+        merged = {**self.params, **overrides}
+        if self.kind == "sequential":
+            result = self.fn(tree, **merged)
+            return Schedule.sequential(tree, result.order, p=max(1, p))
+        return self.fn(tree, p, **merged)
+
+
+_REGISTRY: dict[str, Algorithm] = {}
+_populated = False
+
+
+def register(algorithm: Algorithm) -> Algorithm:
+    """Add an algorithm to the registry (names must be unique)."""
+    if algorithm.name in _REGISTRY:
+        raise ValueError(f"algorithm {algorithm.name!r} already registered")
+    _REGISTRY[algorithm.name] = algorithm
+    return algorithm
+
+
+def _memory_bounded(tree: TaskTree, p: int, cap_factor: float = 2.0, mode: str = "strict"):
+    """Memory-capped list scheduling at ``cap_factor`` x the sequential
+    optimal-postorder peak (the natural scale-free parameterisation)."""
+    from repro.parallel.memory_bounded import memory_bounded_schedule
+    from repro.sequential.postorder import optimal_postorder
+
+    res = optimal_postorder(tree)
+    return memory_bounded_schedule(
+        tree, p, cap_factor * res.peak_memory, order=res.order, mode=mode
+    )
+
+
+def _memory_aware_subtrees(tree: TaskTree, p: int, cap_factor: float = 2.0):
+    """ParSubtrees constrained to ``cap_factor`` x the sequential peak."""
+    from repro.parallel.memory_aware_subtrees import par_subtrees_memory_aware
+    from repro.sequential.postorder import optimal_postorder
+
+    cap = cap_factor * optimal_postorder(tree).peak_memory
+    return par_subtrees_memory_aware(tree, p, cap)
+
+
+def _populate() -> None:
+    """Register the built-in catalogue (idempotent, import-cycle safe)."""
+    global _populated
+    if _populated:
+        return
+    _populated = True
+    from repro.parallel.par_subtrees import par_subtrees, par_subtrees_optim
+    from repro.parallel.par_inner_first import par_inner_first
+    from repro.parallel.par_deepest_first import par_deepest_first
+    from repro.parallel.variants import (
+        par_hop_deepest_first,
+        par_inner_first_naive_order,
+    )
+    from repro.sequential.postorder import natural_postorder, optimal_postorder
+    from repro.sequential.liu import liu_optimal_traversal
+
+    for name, fn, doc in (
+        ("ParSubtrees", par_subtrees, "split into subtrees, one per processor (Section 5.1)"),
+        ("ParSubtreesOptim", par_subtrees_optim, "ParSubtrees with work-packing optimisation"),
+        ("ParInnerFirst", par_inner_first, "parallel postorder: inner nodes first (Section 5.2)"),
+        ("ParDeepestFirst", par_deepest_first, "critical-path list scheduling (Section 5.3)"),
+        ("ParInnerFirst/naiveO", par_inner_first_naive_order, "ablation: naive postorder as O"),
+        ("ParDeepestFirst/hops", par_hop_deepest_first, "ablation: hop-count depth"),
+    ):
+        register(Algorithm(name=name, kind="parallel", fn=fn, doc=doc))
+    register(
+        Algorithm(
+            name="MemoryBounded",
+            kind="parallel",
+            fn=_memory_bounded,
+            params={"cap_factor": 2.0, "mode": "strict"},
+            doc="event scheduler under a peak-memory cap (future-work extension)",
+        )
+    )
+    register(
+        Algorithm(
+            name="MemoryAwareSubtrees",
+            kind="parallel",
+            fn=_memory_aware_subtrees,
+            params={"cap_factor": 2.0},
+            doc="ParSubtrees restricted to a memory budget",
+        )
+    )
+    for name, fn, doc in (
+        ("optimal_postorder", optimal_postorder, "Liu 1986: memory-optimal postorder"),
+        ("liu_optimal_traversal", liu_optimal_traversal, "Liu 1987: exact optimal traversal"),
+        ("natural_postorder", natural_postorder, "index-order postorder baseline"),
+    ):
+        register(Algorithm(name=name, kind="sequential", fn=fn, doc=doc))
+
+
+def get(name: str) -> Algorithm:
+    """Look up one algorithm; raises ``KeyError`` listing known names."""
+    _populate()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def names(kind: str | None = None) -> list[str]:
+    """All registered names (insertion order), optionally one kind only."""
+    _populate()
+    return [a.name for a in _REGISTRY.values() if kind is None or a.kind == kind]
+
+
+def algorithms(kind: str | None = None) -> list[Algorithm]:
+    """All registered algorithms, optionally filtered by kind."""
+    _populate()
+    return [a for a in _REGISTRY.values() if kind is None or a.kind == kind]
+
+
+def run(name: str, tree: TaskTree, p: int = 1, **params: Any) -> Schedule:
+    """Run registry algorithm ``name`` on ``(tree, p)``."""
+    return get(name).run(tree, p, **params)

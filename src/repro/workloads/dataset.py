@@ -67,7 +67,10 @@ def build_dataset(
     Parameters
     ----------
     scale:
-        collection scale (``tiny`` / ``small`` / ``medium``).
+        collection scale (``tiny`` / ``small`` / ``medium`` / ``large``;
+        the ``large`` tier builds much bigger random and multifrontal
+        assembly trees -- sized for the parallel batch pipeline, i.e.
+        ``run_experiments(..., workers=N)``).
     orderings:
         subset of ``{"nd", "md", "rcm"}`` (default: the paper's two).
     amalgamations:

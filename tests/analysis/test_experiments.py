@@ -52,6 +52,44 @@ class TestRunner:
         assert len(lbs) == 1
 
 
+class TestBatchPipeline:
+    def test_parallel_records_byte_identical(self, instances, tmp_path):
+        """workers=N must reproduce the serial record stream exactly."""
+        serial = run_experiments(instances, processor_counts=(2, 4))
+        fanned = run_experiments(instances, processor_counts=(2, 4), workers=3)
+        assert fanned == serial
+        a, b = str(tmp_path / "serial.json"), str(tmp_path / "fanned.json")
+        save_records(serial, a)
+        save_records(fanned, b)
+        assert open(a, "rb").read() == open(b, "rb").read()
+
+    def test_registry_algorithms_accepted(self, instances):
+        records = run_experiments(
+            instances,
+            processor_counts=(2,),
+            heuristics=("ParDeepestFirst/hops", "MemoryBounded"),
+        )
+        assert {r.heuristic for r in records} == {
+            "ParDeepestFirst/hops",
+            "MemoryBounded",
+        }
+
+    def test_streaming_jsonl(self, instances, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        records = run_experiments(
+            instances, processor_counts=(2,), workers=2, stream_to=path
+        )
+        assert load_records(path) == records
+
+    def test_streaming_requires_jsonl(self, instances, tmp_path):
+        with pytest.raises(ValueError, match="jsonl"):
+            run_experiments(
+                instances,
+                processor_counts=(2,),
+                stream_to=str(tmp_path / "stream.json"),
+            )
+
+
 class TestSerialization:
     def test_roundtrip(self, instances, tmp_path):
         records = run_experiments(instances, processor_counts=(2,))
@@ -59,6 +97,24 @@ class TestSerialization:
         save_records(records, path)
         loaded = load_records(path)
         assert loaded == records
+
+    def test_jsonl_roundtrip(self, instances, tmp_path):
+        records = run_experiments(instances, processor_counts=(2,))
+        path = str(tmp_path / "records.jsonl")
+        save_records(records, path)
+        assert load_records(path) == records
+
+    def test_jsonl_append(self, instances, tmp_path):
+        records = run_experiments(instances, processor_counts=(2,))
+        path = str(tmp_path / "records.jsonl")
+        save_records(records[:3], path)
+        save_records(records[3:], path, append=True)
+        assert load_records(path) == records
+
+    def test_append_requires_jsonl(self, tmp_path):
+        r = ScenarioRecord("t", 5, 2, "H", 10.0, 20.0, 10.0, 5.0)
+        with pytest.raises(ValueError, match="jsonl"):
+            save_records([r], str(tmp_path / "records.json"), append=True)
 
     def test_ratios(self):
         r = ScenarioRecord("t", 5, 2, "H", 10.0, 20.0, 10.0, 5.0)

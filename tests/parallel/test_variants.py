@@ -52,6 +52,31 @@ class TestAblationEffects:
         # critical task instead
         assert weighted.start[4] <= hops.start[4]
 
+    def test_hop_variant_leaf_tie_break_regression(self):
+        """Pin the fixed inner-node boost of ``par_hop_deepest_first``.
+
+        A historical revision computed the tie-break term as
+        ``- (0 if tree.is_leaf(i) else 0)`` -- always zero -- so a ready
+        inner node at hop depth d lost to any leaf at depth d+1. With
+        the intended boost, inner node 3 (depth 1) runs *before* leaf 2
+        (depth 2) once its children complete. The full schedule on this
+        heterogeneous tree is pinned for both p=1 and p=2.
+        """
+        t = TaskTree.from_parents(
+            [-1, 0, 1, 0, 3, 3],
+            w=[2, 3, 1, 2, 4, 1],
+            f=[1, 2, 3, 1, 2, 2],
+            sizes=[0, 1, 0, 2, 0, 1],
+        )
+        serial = par_hop_deepest_first(t, 1)
+        # inner node 3 preempts the deeper leaf 2 (the buggy priority
+        # ran 2 first); leaf order among equal keys follows sigma.
+        assert serial.start[3] < serial.start[2]
+        assert serial.start.tolist() == [11.0, 8.0, 7.0, 5.0, 1.0, 0.0]
+        two_procs = par_hop_deepest_first(t, 2)
+        assert two_procs.start.tolist() == [6.0, 2.0, 1.0, 4.0, 0.0, 0.0]
+        assert two_procs.proc.tolist() == [1, 0, 0, 1, 1, 0]
+
     @given(task_trees(min_nodes=2, max_nodes=25, max_w=9))
     @settings(max_examples=20, deadline=None)
     def test_weighted_depth_never_worse_on_average(self, tree):

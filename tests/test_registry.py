@@ -1,0 +1,116 @@
+"""Tests for the central algorithm registry and the generic CLI runner."""
+
+import numpy as np
+import pytest
+
+from repro import registry
+from repro.cli import main
+from repro.core.validation import validate_schedule
+from repro.parallel.heuristics import HEURISTICS
+from repro.parallel.variants import VARIANTS
+from repro.workloads.synthetic import random_weighted_tree
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return random_weighted_tree(40, np.random.default_rng(5))
+
+
+class TestCatalogue:
+    def test_paper_heuristics_registered_in_order(self):
+        assert registry.names("parallel")[:4] == list(HEURISTICS)
+
+    def test_variants_registered(self):
+        for name in VARIANTS:
+            assert registry.get(name).kind == "parallel"
+
+    def test_sequential_traversals_registered(self):
+        names = registry.names("sequential")
+        assert "optimal_postorder" in names
+        assert "liu_optimal_traversal" in names
+
+    def test_heuristics_view_is_registry_backed(self):
+        for name, fn in HEURISTICS.items():
+            assert registry.get(name).fn is fn
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="known:"):
+            registry.get("NoSuchAlgorithm")
+
+    def test_duplicate_rejected(self):
+        algo = registry.get("ParSubtrees")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(algo)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            registry.Algorithm(name="x", kind="quantum", fn=lambda t: t)
+
+    def test_metadata_present(self):
+        for algo in registry.algorithms():
+            assert algo.doc
+            assert algo.kind in ("sequential", "parallel")
+
+
+class TestRun:
+    def test_every_algorithm_runs_and_validates(self, tree):
+        for name in registry.names():
+            for p in (1, 4):
+                schedule = registry.run(name, tree, p)
+                validate_schedule(schedule)
+                assert schedule.p == max(1, p)
+
+    def test_sequential_runs_serially(self, tree):
+        schedule = registry.run("optimal_postorder", tree, 4)
+        assert set(schedule.proc.tolist()) == {0}
+        assert schedule.makespan == pytest.approx(tree.total_work())
+
+    def test_param_override(self, tree):
+        from repro.core.simulator import simulate
+        from repro.sequential.postorder import optimal_postorder
+
+        mseq = optimal_postorder(tree).peak_memory
+        tight = simulate(registry.run("MemoryBounded", tree, 4, cap_factor=1.0))
+        loose = simulate(registry.run("MemoryBounded", tree, 4, cap_factor=4.0))
+        assert tight.peak_memory <= 1.0 * mseq + 1e-9
+        assert loose.makespan <= tight.makespan + 1e-9
+
+    def test_unknown_param_rejected(self, tree):
+        with pytest.raises(TypeError, match="unknown"):
+            registry.run("MemoryBounded", tree, 2, banana=1)
+        with pytest.raises(TypeError, match="accepts params"):
+            registry.run("ParSubtrees", tree, 2, cap_factor=2.0)
+
+
+class TestCliRun:
+    def test_algos_lists_registry(self, capsys):
+        assert main(["algos"]) == 0
+        out = capsys.readouterr().out
+        for name in registry.names():
+            assert name in out
+
+    @pytest.mark.parametrize("name", registry.names())
+    def test_run_works_for_every_registry_name(self, name, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--algo",
+                    name,
+                    "--scale",
+                    "tiny",
+                    "--limit",
+                    "1",
+                    "--processors",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert len(out.strip().splitlines()) >= 2  # header + 1 record row
+
+    def test_run_unknown_algo_fails_cleanly(self, capsys):
+        assert main(["run", "--algo", "Nope", "--scale", "tiny"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
