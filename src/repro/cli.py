@@ -54,7 +54,11 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     records = run_experiments(
-        instances, processor_counts, progress=args.verbose, workers=args.workers
+        instances,
+        processor_counts,
+        progress=args.verbose,
+        workers=args.workers,
+        shared_memory=args.shared_memory,
     )
     stats = compute_table1_stats(records)
     print(render_table1(stats))
@@ -73,7 +77,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.workloads import build_dataset
 
     instances = build_dataset(scale=args.scale)
-    records = run_experiments(instances, tuple(args.processors), workers=args.workers)
+    records = run_experiments(
+        instances,
+        tuple(args.processors),
+        workers=args.workers,
+        shared_memory=args.shared_memory,
+    )
     data = figure_data(records, args.which)
     titles = {
         6: "Figure 6: comparison to lower bounds",
@@ -204,7 +213,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.workloads import build_dataset
 
     instances = build_dataset(scale=args.scale)
-    records = run_experiments(instances, tuple(args.processors), workers=args.workers)
+    records = run_experiments(
+        instances,
+        tuple(args.processors),
+        workers=args.workers,
+        shared_memory=args.shared_memory,
+    )
     text = build_report(records, instances)
     if args.output:
         with open(args.output, "w") as fh:
@@ -305,6 +319,12 @@ def main(argv: list[str] | None = None) -> int:
             type=int,
             default=1,
             help="multiprocessing pool size for the experiment sweep",
+        )
+        sp.add_argument(
+            "--shared-memory",
+            action="store_true",
+            help="ship tree arrays to workers via multiprocessing.shared_memory "
+            "(zero-copy attach instead of per-tree pickling)",
         )
         sp.add_argument("--verbose", action="store_true")
 

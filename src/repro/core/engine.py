@@ -239,9 +239,7 @@ class SchedulerEngine:
         if capped:
             cap_eps = self.cap + 1e-9
             alloc = (tree.sizes + tree.f).tolist()
-            free_arr = tree.sizes.copy()
-            np.add.at(free_arr, tree.parent[has_parent], tree.f[has_parent])
-            free_on_end = free_arr.tolist()
+            free_on_end = tree.completion_frees().tolist()
             sigma = self.order.tolist()
 
         start = [-1.0] * n

@@ -83,12 +83,13 @@ def simulate_out_of_core(
     n = tree.n
     if bandwidth <= 0:
         raise ValueError("bandwidth must be positive")
-    for i in range(n):
-        if tree.processing_memory(i) > memory + 1e-9:
-            raise ValueError(
-                f"task {i} needs {tree.processing_memory(i):g} > memory {memory:g}; "
-                "no out-of-core policy can run it"
-            )
+    working_sets = tree.processing_memories()
+    if np.any(working_sets > memory + 1e-9):
+        i = int(np.flatnonzero(working_sets > memory + 1e-9)[0])
+        raise ValueError(
+            f"task {i} needs {working_sets[i]:g} > memory {memory:g}; "
+            "no out-of-core policy can run it"
+        )
 
     start = schedule.start
     end = schedule.end

@@ -70,10 +70,7 @@ def _memory_events(schedule: Schedule) -> tuple[np.ndarray, np.ndarray]:
     # Each task contributes one allocation event (n_i + f_i at start) and
     # one free event (n_i + sum of children f at end).
     alloc = tree.sizes + tree.f
-    freed = tree.sizes.copy()
-    for i in range(n):
-        for j in tree.children(i):
-            freed[i] += tree.f[j]
+    freed = tree.completion_frees()
     times = np.concatenate([end, start])
     phases = np.concatenate([np.zeros(n, dtype=np.int8), np.ones(n, dtype=np.int8)])
     deltas = np.concatenate([-freed, alloc])

@@ -14,10 +14,16 @@ Processing task ``i`` requires memory
 its input files and execution file are freed while its output file remains
 resident until the parent completes.
 
-The structure is array-based (``numpy`` integer/float vectors) so that all
-per-node queries are O(1) and whole-tree sweeps are cache-friendly, which is
-what makes the heuristics run at :math:`O(n \\log n)` overall as in the
-paper's C implementation.
+The structure is array-based (``numpy`` integer/float vectors) with a
+**CSR children representation**: ``child_idx`` holds every non-root node
+grouped by parent (in ascending node order within each group, via one
+stable ``np.argsort`` of the parent vector) and ``child_ptr[p]`` /
+``child_ptr[p+1]`` delimit the children of node ``p``. Construction,
+the cached postorder, subtree extraction and all per-node aggregates are
+fully vectorized sweeps over these arrays, which is what keeps the
+heuristics at :math:`O(n \\log n)` overall as in the paper's C
+implementation -- with numpy-kernel constants instead of Python-loop
+constants.
 """
 
 from __future__ import annotations
@@ -27,10 +33,79 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["TaskTree", "NO_PARENT"]
+__all__ = [
+    "TaskTree",
+    "NO_PARENT",
+    "accumulate_to_root",
+    "postorder_positions_from_sibling_order",
+    "use_level_sweeps",
+]
 
 #: Sentinel used in ``parent`` arrays for the root node.
 NO_PARENT: int = -1
+
+
+def use_level_sweeps(height: int, n: int) -> bool:
+    """Crossover heuristic: level-synchronous numpy sweeps vs. per-node
+    loops.
+
+    Wide, shallow trees amortise a handful of numpy calls per depth
+    level; degenerate chain-like trees (one node per level) do not.
+    Shared by ``TaskTree`` construction / ``weighted_depths`` and the
+    sequential traversal kernels so both layers always pick the same
+    regime for a given tree.
+    """
+    return height + 1 <= max(64, n // 16)
+
+
+def accumulate_to_root(parent: np.ndarray, val: np.ndarray) -> np.ndarray:
+    """Sum ``val`` along every node's root path (node inclusive).
+
+    Pointer doubling: ``acc[i]`` always holds the sum of ``val`` over the
+    path from ``i`` (inclusive) to ``anc[i]`` (exclusive), where ``anc``
+    is the clamped :math:`2^k`-th ancestor. ``val[root]`` must be 0 so
+    the exclusive endpoint does not matter. O(n log height), fully
+    vectorized -- deep chains cost log-many numpy passes, not n Python
+    iterations.
+    """
+    n = parent.shape[0]
+    idx = np.arange(n, dtype=np.int64)
+    anc = np.where(parent == NO_PARENT, idx, parent)
+    acc = val.copy()
+    while True:
+        anc2 = anc[anc]
+        if np.array_equal(anc2, anc):
+            return acc
+        acc += acc[anc]
+        anc = anc2
+
+
+def postorder_positions_from_sibling_order(
+    parent: np.ndarray,
+    child_ptr: np.ndarray,
+    ordered_children: np.ndarray,
+    size: np.ndarray,
+    depth: np.ndarray,
+) -> np.ndarray:
+    """Postorder position of every node, given a per-parent sibling order.
+
+    ``ordered_children`` is the CSR ``child_idx`` array with each
+    parent's segment permuted into the desired visiting order. The
+    preorder position of a node is the root-path sum of ``1 + (total
+    subtree size of earlier siblings)`` -- sibling prefixes from one
+    global cumsum over the segments (integer, exact), the path sum by
+    pointer doubling -- and with children visited in that order the
+    postorder position is ``preorder - depth + size - 1``. Used both at
+    tree construction (index-ordered siblings) and by the memory-optimal
+    postorder (siblings sorted by Liu's criterion).
+    """
+    sz = size[ordered_children]
+    incl = np.cumsum(sz)
+    excl = incl - sz
+    seg_start = child_ptr[parent[ordered_children]]
+    val = np.zeros(parent.shape[0], dtype=np.int64)
+    val[ordered_children] = 1 + (excl - excl[seg_start])
+    return accumulate_to_root(parent, val) - depth + size - 1
 
 
 @dataclass(frozen=True)
@@ -54,18 +129,41 @@ class TaskTree:
 
     Notes
     -----
-    Children lists, the postorder, and subtree aggregates are computed
-    lazily and cached, so constructing a tree is O(n).
+    The CSR children arrays, the root, node depths and the cached
+    postorder are computed once at construction in vectorized sweeps;
+    subtree sizes, postorder positions and input sizes are computed
+    lazily on first use and cached. All cached arrays are marked
+    read-only; accessors that historically returned fresh arrays return
+    copies.
     """
 
     parent: np.ndarray
     w: np.ndarray
     f: np.ndarray
     sizes: np.ndarray
-    _children: tuple[tuple[int, ...], ...] = field(
+    _child_ptr: np.ndarray = field(
         init=False, repr=False, compare=False, default=None  # type: ignore[assignment]
     )
-    _postorder: tuple[int, ...] = field(
+    _child_idx: np.ndarray = field(
+        init=False, repr=False, compare=False, default=None  # type: ignore[assignment]
+    )
+    _root: int = field(init=False, repr=False, compare=False, default=-1)
+    _depths: np.ndarray = field(
+        init=False, repr=False, compare=False, default=None  # type: ignore[assignment]
+    )
+    _postorder: np.ndarray = field(
+        init=False, repr=False, compare=False, default=None  # type: ignore[assignment]
+    )
+    _post_pos: np.ndarray = field(
+        init=False, repr=False, compare=False, default=None  # type: ignore[assignment]
+    )
+    _subtree_sizes: np.ndarray = field(
+        init=False, repr=False, compare=False, default=None  # type: ignore[assignment]
+    )
+    _input_sizes: np.ndarray = field(
+        init=False, repr=False, compare=False, default=None  # type: ignore[assignment]
+    )
+    _completion_frees: np.ndarray = field(
         init=False, repr=False, compare=False, default=None  # type: ignore[assignment]
     )
 
@@ -95,31 +193,94 @@ class TaskTree:
         object.__setattr__(self, "w", w)
         object.__setattr__(self, "f", f)
         object.__setattr__(self, "sizes", sizes)
-        children: list[list[int]] = [[] for _ in range(n)]
-        for i in range(n):
-            p = parent[i]
-            if p != NO_PARENT:
-                children[p].append(i)
-        object.__setattr__(
-            self, "_children", tuple(tuple(c) for c in children)
-        )
-        # Reject cycles / forests disguised as trees: a connected structure
-        # with n nodes, n-1 edges and one root is a tree iff every node
-        # reaches the root, which the postorder computation verifies. The
-        # order is cached -- the heuristics' priority sweeps all start
-        # from it.
-        root = int(np.flatnonzero(parent == NO_PARENT)[0])
-        out: list[int] = []
-        stack: list[int] = [root]
-        kids = self._children
-        while stack:
-            node = stack.pop()
-            out.append(node)
-            stack.extend(kids[node])
-        if len(out) != n:
+        root = int(roots[0])
+        object.__setattr__(self, "_root", root)
+
+        # CSR children: one stable argsort groups every non-root node by
+        # parent; the root (parent == -1) sorts first and is dropped.
+        # Stability keeps children in ascending node order within each
+        # group -- the same order the historical per-node lists used.
+        by_parent = np.argsort(parent, kind="stable")
+        child_idx = np.ascontiguousarray(by_parent[1:])
+        counts = np.bincount(parent[child_idx], minlength=n)
+        child_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=child_ptr[1:])
+
+        # Depths by pointer doubling. A cycle (disguised as extra edges
+        # to a forest) never converges, so cap the iteration count at the
+        # bound any true tree satisfies (2^k ancestors reach the root
+        # once 2^k >= height <= n-1).
+        idx = np.arange(n, dtype=np.int64)
+        anc = np.where(parent == NO_PARENT, idx, parent)
+        depth = (parent != NO_PARENT).astype(np.int64)
+        limit = max(1, int(n - 1).bit_length()) + 1
+        iterations = 0
+        while True:
+            anc2 = anc[anc]
+            if np.array_equal(anc2, anc):
+                break
+            iterations += 1
+            if iterations > limit:
+                raise ValueError("parent structure contains a cycle")
+            depth += depth[anc]
+            anc = anc2
+        # Doubling also converges on a detached cycle whose length divides
+        # 2^k (every member becomes its own ancestor); a true tree ends
+        # with every chain clamped at the root.
+        if not np.all(anc == root):
             raise ValueError("parent structure contains a cycle")
-        out.reverse()
-        object.__setattr__(self, "_postorder", tuple(out))
+        height = int(depth.max()) if n > 1 else 0
+
+        subtree_sizes = None
+        post_pos = None
+        if use_level_sweeps(height, n):
+            # Vectorized postorder: subtree sizes bottom-up by level,
+            # then every node's postorder position in closed form.
+            size = np.ones(n, dtype=np.int64)
+            if height > 0:
+                by_depth = np.argsort(depth, kind="stable")
+                level_counts = np.bincount(depth, minlength=height + 1)
+                pos = n
+                for c in level_counts[:0:-1]:  # deepest level ... level 1
+                    c = int(c)
+                    nodes = by_depth[pos - c : pos]
+                    pos -= c
+                    np.add.at(size, parent[nodes], size[nodes])
+            post_pos = postorder_positions_from_sibling_order(
+                parent, child_ptr, child_idx, size, depth
+            )
+            porder = np.empty(n, dtype=np.int64)
+            porder[post_pos] = idx
+            subtree_sizes = size
+        else:
+            # Deep, chain-like trees: levels are too narrow for the
+            # per-level numpy sweeps to pay off; fall back to the
+            # iterative DFS (children pushed in index order, output
+            # reversed -- the historical order, bit for bit).
+            ptr_l = child_ptr.tolist()
+            ci_l = child_idx.tolist()
+            out: list[int] = []
+            stack: list[int] = [root]
+            while stack:
+                node = stack.pop()
+                out.append(node)
+                stack.extend(ci_l[ptr_l[node] : ptr_l[node + 1]])
+            if len(out) != n:  # pragma: no cover - caught by the cycle cap
+                raise ValueError("parent structure contains a cycle")
+            out.reverse()
+            porder = np.asarray(out, dtype=np.int64)
+
+        for name, arr in (
+            ("_child_ptr", child_ptr),
+            ("_child_idx", child_idx),
+            ("_depths", depth),
+            ("_postorder", porder),
+            ("_post_pos", post_pos),
+            ("_subtree_sizes", subtree_sizes),
+        ):
+            if arr is not None:
+                arr.setflags(write=False)
+            object.__setattr__(self, name, arr)
 
     @classmethod
     def from_parents(
@@ -178,22 +339,33 @@ class TaskTree:
 
     @property
     def root(self) -> int:
-        """Index of the root task."""
-        return int(np.flatnonzero(self.parent == NO_PARENT)[0])
+        """Index of the root task (cached at construction)."""
+        return self._root
 
-    def children(self, i: int) -> tuple[int, ...]:
-        """Children of node ``i`` (empty tuple for leaves)."""
-        return self._children[i]
+    @property
+    def child_ptr(self) -> np.ndarray:
+        """CSR row pointer: children of ``p`` live at
+        ``child_idx[child_ptr[p] : child_ptr[p + 1]]`` (read-only)."""
+        return self._child_ptr
+
+    @property
+    def child_idx(self) -> np.ndarray:
+        """CSR children array: every non-root node grouped by parent,
+        ascending node order within each group (read-only)."""
+        return self._child_idx
+
+    def children(self, i: int) -> np.ndarray:
+        """Children of node ``i`` as a zero-copy CSR slice
+        (empty array for leaves, ascending node order)."""
+        return self._child_idx[self._child_ptr[i] : self._child_ptr[i + 1]]
 
     def is_leaf(self, i: int) -> bool:
         """True iff node ``i`` has no children."""
-        return not self._children[i]
+        return bool(self._child_ptr[i] == self._child_ptr[i + 1])
 
     def leaf_mask(self) -> np.ndarray:
         """Boolean mask over all nodes, True at leaves (vectorized)."""
-        mask = np.ones(self.n, dtype=bool)
-        mask[self.parent[self.parent != NO_PARENT]] = False
-        return mask
+        return self._child_ptr[1:] == self._child_ptr[:-1]
 
     def leaves(self) -> np.ndarray:
         """Indices of all leaf nodes, ascending."""
@@ -205,51 +377,58 @@ class TaskTree:
 
     def degree(self, i: int) -> int:
         """Number of children of node ``i``."""
-        return len(self._children[i])
+        return int(self._child_ptr[i + 1] - self._child_ptr[i])
 
     def max_degree(self) -> int:
         """Maximum number of children over all nodes."""
-        return max(len(c) for c in self._children)
+        return int(np.max(self._child_ptr[1:] - self._child_ptr[:-1]))
 
     # ------------------------------------------------------------------
     # traversals and aggregates
     # ------------------------------------------------------------------
     def postorder(self) -> np.ndarray:
-        """A postorder of the tree (children before parents), iterative.
+        """A postorder of the tree (children before parents), cached.
 
         The order visits children in index order; it is *a* valid
         topological order, not the memory-optimal one (see
         :mod:`repro.sequential.postorder` for that). Computed once at
-        construction (iteratively, so the paper's deep trees -- depth up
-        to 70 000 -- never hit Python's recursion limit) and cached.
+        construction -- vectorized (subtree-size prefix sums plus a
+        pointer-doubling root-path sum) for shallow trees, iteratively
+        for the paper's deep trees (depth up to 70 000), so Python's
+        recursion limit is never hit. The returned array is the
+        read-only cache; copy before mutating.
         """
-        return np.asarray(self._postorder, dtype=np.int64)
+        return self._postorder
 
     def topological_order(self) -> np.ndarray:
         """Alias for :meth:`postorder` (any child-before-parent order)."""
         return self.postorder()
 
+    def postorder_positions(self) -> np.ndarray:
+        """Position of every node in :meth:`postorder` (read-only).
+
+        ``postorder_positions()[postorder()] == arange(n)``; with
+        index-ordered children, every subtree occupies the contiguous
+        position range ``[pos[i] - size[i] + 1, pos[i]]``.
+        """
+        if self._post_pos is None:
+            pos = np.empty(self.n, dtype=np.int64)
+            pos[self._postorder] = np.arange(self.n, dtype=np.int64)
+            pos.setflags(write=False)
+            object.__setattr__(self, "_post_pos", pos)
+        return self._post_pos
+
     def depths(self) -> np.ndarray:
         """Edge-count depth of every node (root has depth 0).
 
         Pointer doubling: ``O(n log height)`` in fully vectorized
-        sweeps (``depth[i]`` always counts the edges from ``i`` to
-        ``anc[i]``, the clamped :math:`2^k`-th ancestor).
+        sweeps; computed once at construction and cached (read-only).
         """
-        n = self.n
-        parent = self.parent
-        anc = np.where(parent == NO_PARENT, np.arange(n, dtype=np.int64), parent)
-        depth = (parent != NO_PARENT).astype(np.int64)
-        while True:
-            anc2 = anc[anc]
-            if np.array_equal(anc2, anc):
-                return depth
-            depth += depth[anc]
-            anc = anc2
+        return self._depths
 
     def height(self) -> int:
         """Height of the tree in edges (0 for a single node)."""
-        return int(self.depths().max())
+        return int(self._depths.max())
 
     def weighted_depths(self) -> np.ndarray:
         """w-weighted path length from each node to the root, inclusive.
@@ -261,7 +440,7 @@ class TaskTree:
         n = self.n
         depth = self.depths()
         height = int(depth.max()) if n else 0
-        if height + 1 <= max(64, n // 16):
+        if use_level_sweeps(height, n):
             # Level-synchronous: one vectorized gather-add per depth
             # level (each node receives exactly w[i] + wdepth[parent],
             # the same single addition as the sequential sweep).
@@ -280,7 +459,7 @@ class TaskTree:
         parent_l = self.parent.tolist()
         w = self.w.tolist()
         out = [0.0] * n
-        for node in reversed(self._postorder):
+        for node in reversed(self._postorder.tolist()):
             p = parent_l[node]
             out[node] = w[node] + (out[p] if p != NO_PARENT else 0.0)
         return np.asarray(out, dtype=np.float64)
@@ -289,31 +468,48 @@ class TaskTree:
         """Total processing time of each subtree (``W_i`` in Section 5.1)."""
         parent = self.parent.tolist()
         work = self.w.tolist()
-        for node in self._postorder:
+        for node in self._postorder.tolist():
             p = parent[node]
             if p != NO_PARENT:
                 work[p] += work[node]
         return np.asarray(work, dtype=np.float64)
 
-    def subtree_sizes(self) -> np.ndarray:
-        """Number of nodes in each subtree (including the subtree root)."""
-        parent = self.parent.tolist()
-        size = [1] * self.n
-        for node in self._postorder:
-            p = parent[node]
-            if p != NO_PARENT:
-                size[p] += size[node]
-        return np.asarray(size, dtype=np.int64)
+    def _subtree_sizes_cached(self) -> np.ndarray:
+        """Read-only cached subtree sizes (computed lazily for deep trees)."""
+        if self._subtree_sizes is None:
+            parent = self.parent.tolist()
+            size = [1] * self.n
+            for node in self._postorder.tolist():
+                p = parent[node]
+                if p != NO_PARENT:
+                    size[p] += size[node]
+            arr = np.asarray(size, dtype=np.int64)
+            arr.setflags(write=False)
+            object.__setattr__(self, "_subtree_sizes", arr)
+        return self._subtree_sizes
+
+    def subtree_sizes(self, copy: bool = True) -> np.ndarray:
+        """Number of nodes in each subtree (including the subtree root).
+
+        ``copy=False`` returns the read-only cache without the O(n)
+        defensive copy (for internal-style hot paths).
+        """
+        cached = self._subtree_sizes_cached()
+        return cached.copy() if copy else cached
 
     def subtree_nodes(self, i: int) -> np.ndarray:
-        """All node indices in the subtree rooted at ``i`` (preorder)."""
-        out: list[int] = []
-        stack = [i]
-        while stack:
-            node = stack.pop()
-            out.append(node)
-            stack.extend(self._children[node])
-        return np.asarray(out, dtype=np.int64)
+        """All node indices in the subtree rooted at ``i`` (preorder).
+
+        With index-ordered children the subtree is one contiguous slice
+        of the cached postorder; reversing it yields exactly the
+        historical DFS preorder (children visited in descending index
+        order). O(subtree size), no Python loop.
+        """
+        pos = self.postorder_positions()
+        size = self._subtree_sizes_cached()
+        end = int(pos[i])
+        start = end - int(size[i]) + 1
+        return np.ascontiguousarray(self._postorder[start : end + 1][::-1])
 
     def critical_path(self) -> float:
         """Length of the w-weighted critical path (root to deepest leaf)."""
@@ -323,14 +519,53 @@ class TaskTree:
         """Sum of all processing times (``W`` in the makespan lower bound)."""
         return float(self.w.sum())
 
+    def input_sizes(self) -> np.ndarray:
+        """Total input file size of every node (vectorized, cached).
+
+        ``input_sizes()[i]`` equals :math:`\\sum_{j \\in Children(i)} f_j`
+        with the children accumulated in ascending node order -- bit for
+        bit the sum the historical per-node loop produced. Read-only.
+        """
+        if self._input_sizes is None:
+            mask = self.parent != NO_PARENT
+            arr = np.bincount(self.parent[mask], weights=self.f[mask], minlength=self.n)
+            arr.setflags(write=False)
+            object.__setattr__(self, "_input_sizes", arr)
+        return self._input_sizes
+
+    def completion_frees(self) -> np.ndarray:
+        """Memory released when each node completes: its execution file
+        plus its children's output files (vectorized, cached, read-only).
+
+        Accumulated child-by-child *into* ``sizes`` in ascending node
+        order -- ``((n_i + f_{c_1}) + f_{c_2}) \\dots`` -- which is the
+        float association the historical per-child loops used, so the
+        capped engine's and the simulator's memory trajectories stay
+        bit-identical to the seed implementations even for non-integral
+        file sizes. (``sizes + input_sizes()`` would associate as
+        ``n_i + (f_{c_1} + f_{c_2})`` and drift by an ulp.)
+        """
+        if self._completion_frees is None:
+            arr = self.sizes.copy()
+            mask = self.parent != NO_PARENT
+            np.add.at(arr, self.parent[mask], self.f[mask])
+            arr.setflags(write=False)
+            object.__setattr__(self, "_completion_frees", arr)
+        return self._completion_frees
+
+    def processing_memories(self) -> np.ndarray:
+        """Memory needed while each node executes (vectorized):
+        :math:`\\sum_{j\\in Children(i)} f_j + n_i + f_i`."""
+        return (self.input_sizes() + self.sizes) + self.f
+
     def input_size(self, i: int) -> float:
         """Total size of the input files of node ``i``."""
-        return float(sum(self.f[j] for j in self._children[i]))
+        return float(self.input_sizes()[i])
 
     def processing_memory(self, i: int) -> float:
         """Memory needed while node ``i`` executes:
         :math:`\\sum_{j\\in Children(i)} f_j + n_i + f_i`."""
-        return self.input_size(i) + float(self.sizes[i]) + float(self.f[i])
+        return float((self.input_sizes()[i] + self.sizes[i]) + self.f[i])
 
     # ------------------------------------------------------------------
     # derived trees
@@ -339,14 +574,15 @@ class TaskTree:
         """Extract the subtree rooted at ``i`` as a standalone tree.
 
         Returns the new tree and the array mapping new indices to the
-        original node indices.
+        original node indices. The relabelling is a vectorized scatter
+        over :meth:`subtree_nodes` (same node numbering as the
+        historical dict-based remap).
         """
         nodes = self.subtree_nodes(i)
-        remap = {int(old): new for new, old in enumerate(nodes)}
-        parent = np.empty(nodes.shape[0], dtype=np.int64)
-        for new, old in enumerate(nodes):
-            p = self.parent[old]
-            parent[new] = remap[int(p)] if int(old) != int(i) else NO_PARENT
+        remap = np.empty(self.n, dtype=np.int64)
+        remap[nodes] = np.arange(nodes.shape[0], dtype=np.int64)
+        parent = remap[self.parent[nodes]]
+        parent[0] = NO_PARENT  # nodes[0] == i, the subtree root
         return (
             TaskTree(parent, self.w[nodes], self.f[nodes], self.sizes[nodes]),
             nodes,

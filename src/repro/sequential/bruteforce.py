@@ -26,10 +26,10 @@ _MAX_BRUTE_NODES = 12
 def _all_postorders(tree: TaskTree, node: int):
     """Yield every postorder of the subtree rooted at ``node``."""
     kids = tree.children(node)
-    if not kids:
+    if kids.shape[0] == 0:
         yield [node]
         return
-    for perm in permutations(kids):
+    for perm in permutations(kids.tolist()):
         stacks = [list(_all_postorders(tree, c)) for c in perm]
 
         def combine(idx: int):
@@ -71,7 +71,8 @@ def best_traversal_bruteforce(tree: TaskTree) -> TraversalResult:
     if tree.n > _MAX_BRUTE_NODES:
         raise ValueError(f"brute force limited to {_MAX_BRUTE_NODES} nodes")
     n = tree.n
-    remaining_children = np.array([tree.degree(i) for i in range(n)], dtype=np.int64)
+    inputs = tree.input_sizes()
+    remaining_children = np.diff(tree.child_ptr).copy()
     ready = [i for i in range(n) if remaining_children[i] == 0]
     best = {"peak": float("inf"), "order": None}
     order: list[int] = []
@@ -88,7 +89,7 @@ def best_traversal_bruteforce(tree: TaskTree) -> TraversalResult:
             new_peak = max(peak, mem + tree.sizes[node] + tree.f[node])
             if new_peak >= best["peak"]:
                 continue
-            new_mem = mem + tree.f[node] - tree.input_size(node)
+            new_mem = mem + tree.f[node] - inputs[node]
             parent = int(tree.parent[node])
             new_ready = ready[:k] + ready[k + 1 :]
             if parent >= 0:

@@ -18,10 +18,29 @@ The exchange argument behind step 3 relies on every segment having a
 non-negative net memory growth (valleys are non-decreasing), which the
 decomposition of step 2 guarantees.
 
-Worst-case complexity is :math:`O(n^2)` (e.g. on chains), the same bound
-as the algorithms referenced by the paper [13, 14, 9]. The implementation
-is fully iterative and is property-tested against exhaustive search over
-all topological orders on small random trees.
+Implementation
+--------------
+Segments carry their node slices as numpy arrays, so the k-way merge
+concatenates array blocks instead of extending element by element, and
+the memory profile (the inner kernel, recomputed at every level) is the
+vectorized interleaved cumsum of :func:`~repro.sequential.traversal
+.traversal_profile` -- bit-identical to the historical per-task loop.
+Profiles are only recomputed over the part of the traversal that a merge
+can actually change: a node with several children re-profiles the merged
+subtree order once, while a node with a **single child** (every link of
+a chain) updates the child's segmentation incrementally from the cached
+hill/valley summaries -- because each cut's valley is the minimum of the
+*entire* remaining suffix, appending the parent either preserves a
+leading segment verbatim or absorbs the whole tail, which the summaries
+decide exactly (golden tests pin bit-identical orders and peaks against
+the recompute-from-scratch implementation).
+
+Worst-case complexity is :math:`O(n^2)` (the same bound as the
+algorithms referenced by the paper [13, 14, 9]); chains -- the
+historical worst case -- now cost amortised :math:`O(n)` segment
+updates. The implementation is fully iterative and is property-tested
+against exhaustive search over all topological orders on small random
+trees.
 """
 
 from __future__ import annotations
@@ -37,7 +56,7 @@ from .traversal import TraversalResult, traversal_profile
 __all__ = ["liu_optimal_traversal", "hill_valley_segments", "Segment"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Segment:
     """One hill--valley segment of a traversal's memory profile.
 
@@ -49,20 +68,64 @@ class Segment:
     valley:
         the resident memory once the segment's last task completed.
     nodes:
-        the tasks of the segment, in execution order.
+        the tasks of the segment, in execution order (int64 array).
+
+    Equality and hashing compare by value (``nodes`` element-wise), as
+    they did when ``nodes`` was a tuple.
     """
 
     hill: float
     valley: float
-    nodes: tuple[int, ...]
+    nodes: np.ndarray
 
     @property
     def drop(self) -> float:
         """``hill - valley``: the merge priority of Liu's combination."""
         return self.hill - self.valley
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Segment):
+            return NotImplemented
+        return (
+            self.hill == other.hill
+            and self.valley == other.valley
+            and np.array_equal(self.nodes, other.nodes)
+        )
 
-def hill_valley_segments(tree: TaskTree, order: list[int]) -> list[Segment]:
+    def __hash__(self) -> int:
+        return hash((self.hill, self.valley, tuple(self.nodes.tolist())))
+
+
+def _segment_profile(
+    order: np.ndarray, during: np.ndarray, after: np.ndarray
+) -> list[Segment]:
+    """Cut a profile into hill--valley segments.
+
+    The historical loop re-scanned the remaining suffix with
+    ``argmax``/``argmin`` for every cut (quadratic in the segment
+    count); precomputing the positions of running suffix maxima of
+    ``during`` and suffix minima of ``after`` turns each cut into two
+    ``searchsorted`` lookups while selecting exactly the same (first)
+    positions.
+    """
+    m = order.shape[0]
+    segments: list[Segment] = []
+    if m == 0:
+        return segments
+    hill_pos = np.flatnonzero(during == np.maximum.accumulate(during[::-1])[::-1])
+    valley_pos = np.flatnonzero(after == np.minimum.accumulate(after[::-1])[::-1])
+    start = 0
+    while start < m:
+        h = int(hill_pos[np.searchsorted(hill_pos, start)])
+        v = int(valley_pos[np.searchsorted(valley_pos, h)])
+        segments.append(
+            Segment(hill=float(during[h]), valley=float(after[v]), nodes=order[start : v + 1])
+        )
+        start = v + 1
+    return segments
+
+
+def hill_valley_segments(tree: TaskTree, order) -> list[Segment]:
     """Decompose a (sub)tree traversal into hill--valley segments.
 
     ``order`` must be a topological order of a subtree whose every node's
@@ -70,44 +133,76 @@ def hill_valley_segments(tree: TaskTree, order: list[int]) -> list[Segment]:
     memory). Cuts are made at the first minimum following the first
     global maximum, repeatedly.
     """
+    # Copy: the returned segments slice this array, and callers of the
+    # public API must get snapshots (as the historical tuples were), not
+    # views into their own possibly-reused order buffer.
+    order = np.array(
+        order if isinstance(order, np.ndarray) else list(order), dtype=np.int64
+    )
     during, after = traversal_profile(tree, order)
-    segments: list[Segment] = []
-    start = 0
-    m = len(order)
-    while start < m:
-        rel_h = int(np.argmax(during[start:])) + start
-        rel_v = int(np.argmin(after[rel_h:])) + rel_h
-        segments.append(
-            Segment(
-                hill=float(during[rel_h]),
-                valley=float(after[rel_v]),
-                nodes=tuple(order[start : rel_v + 1]),
-            )
-        )
-        start = rel_v + 1
-    return segments
+    return _segment_profile(order, during, after)
 
 
 def _merge_children_segments(
     child_segments: list[list[Segment]],
-) -> list[int]:
+) -> list[np.ndarray]:
     """Merge segments of several children in non-increasing drop order.
 
     Within a child the drop is non-increasing, so a k-way heap merge on
     the head segment of each child yields a globally sorted interleaving
-    that preserves every child's internal order.
+    that preserves every child's internal order. Returns the segments'
+    node blocks (concatenated by the caller in one shot).
     """
     heap: list[tuple[float, int, int]] = []
     for c, segs in enumerate(child_segments):
         if segs:
             heapq.heappush(heap, (-segs[0].drop, c, 0))
-    merged: list[int] = []
+    merged: list[np.ndarray] = []
     while heap:
         _, c, k = heapq.heappop(heap)
-        merged.extend(child_segments[c][k].nodes)
+        merged.append(child_segments[c][k].nodes)
         if k + 1 < len(child_segments[c]):
             heapq.heappush(heap, (-child_segments[c][k + 1].drop, c, k + 1))
     return merged
+
+
+def _append_task(
+    segs: list[Segment], i: int, during_i: float, after_i: float
+) -> list[Segment]:
+    """Re-segment ``child order + [i]`` from cached summaries, exactly.
+
+    Walk the child's segments in order. For segment ``s`` (hills are
+    non-increasing, so its hill is the first maximum of the remaining
+    suffix): if ``during_i`` exceeds it, the first global hill moves to
+    the appended task and the whole remainder fuses into one segment;
+    if ``after_i`` undercuts its valley -- which is the minimum of the
+    *entire* remaining suffix of the child profile, so nothing between
+    can be lower -- the first subsequent minimum moves to the end and
+    the remainder fuses likewise; otherwise the segment is reproduced
+    verbatim. Ties keep the historical first-occurrence cuts (strict
+    inequalities); the caller derived ``during_i``/``after_i`` from the
+    child's cached end memory with the exact arithmetic of a fresh
+    profile, so every comparison sees the same bits the historical
+    re-scan compared.
+    """
+    out: list[Segment] = []
+    k = 0
+    for k, s in enumerate(segs):
+        if during_i > s.hill or after_i < s.valley:
+            break
+        out.append(s)
+    else:
+        k = len(segs)
+    if k < len(segs):
+        hill = during_i if during_i > segs[k].hill else segs[k].hill
+        tail = [t.nodes for t in segs[k:]]
+        tail.append(np.array([i], dtype=np.int64))
+        out.append(Segment(hill=hill, valley=after_i, nodes=np.concatenate(tail)))
+    else:
+        out.append(
+            Segment(hill=during_i, valley=after_i, nodes=np.array([i], dtype=np.int64))
+        )
+    return out
 
 
 def liu_optimal_traversal(tree: TaskTree) -> TraversalResult:
@@ -118,22 +213,40 @@ def liu_optimal_traversal(tree: TaskTree) -> TraversalResult:
     and matches exhaustive search on small instances.
     """
     n = tree.n
-    orders: dict[int, list[int]] = {}
+    f = tree.f
+    sizes = tree.sizes
+    inputs = tree.input_sizes()
     segments: dict[int, list[Segment]] = {}
-    for i in tree.postorder():
-        i = int(i)
+    end_mem: dict[int, float] = {}
+    for i in tree.postorder().tolist():
         kids = tree.children(i)
-        if not kids:
-            order = [i]
-        else:
-            order = _merge_children_segments([segments[c] for c in kids])
-            order.append(i)
+        if kids.shape[0] > 1:
+            blocks = _merge_children_segments([segments.pop(int(c)) for c in kids])
             for c in kids:  # children data no longer needed: bound memory
-                del orders[c], segments[c]
-        orders[i] = order
-        segments[i] = hill_valley_segments(tree, order)
-    root_order = orders[tree.root]
-    peak = max(s.hill for s in segments[tree.root])
-    if len(root_order) != n:  # pragma: no cover - defensive
+                del end_mem[int(c)]
+            blocks.append(np.array([i], dtype=np.int64))
+            order = np.concatenate(blocks)
+            during, after = traversal_profile(tree, order)
+            segments[i] = _segment_profile(order, during, after)
+            end_mem[i] = float(after[-1])
+            continue
+        if kids.shape[0] == 1:
+            c = int(kids[0])
+            segs = segments.pop(c)
+            prev = end_mem.pop(c)
+        else:
+            segs = []
+            prev = 0.0
+        # One appended profile entry, with the exact arithmetic of a
+        # fresh traversal_profile over the extended order.
+        during_i = float((prev + sizes[i]) + f[i])
+        after_i = float((prev + f[i]) - inputs[i])
+        segments[i] = _append_task(segs, i, during_i, after_i)
+        end_mem[i] = after_i
+    root = tree.root
+    root_segments = segments[root]
+    order = np.concatenate([s.nodes for s in root_segments])
+    peak = max(s.hill for s in root_segments)
+    if order.shape[0] != n:  # pragma: no cover - defensive
         raise RuntimeError("traversal lost tasks")
-    return TraversalResult(order=np.asarray(root_order, dtype=np.int64), peak_memory=float(peak))
+    return TraversalResult(order=order, peak_memory=float(peak))

@@ -14,13 +14,13 @@ class TestConstruction:
         assert t.n == 1
         assert t.root == 0
         assert t.is_leaf(0)
-        assert t.children(0) == ()
+        assert t.children(0).size == 0
 
     def test_chain(self, chain5):
         assert chain5.root == 0
         assert chain5.height() == 4
         assert chain5.n_leaves() == 1
-        assert chain5.children(0) == (1,)
+        assert list(chain5.children(0)) == [1]
 
     def test_star(self, star5):
         assert star5.max_degree() == 4
@@ -36,8 +36,8 @@ class TestConstruction:
     def test_from_edges(self):
         t = TaskTree.from_edges([(1, 0), (2, 0), (3, 1)], n=4)
         assert t.root == 0
-        assert t.children(0) == (1, 2)
-        assert t.children(1) == (3,)
+        assert list(t.children(0)) == [1, 2]
+        assert list(t.children(1)) == [3]
 
     def test_from_edges_duplicate_parent_rejected(self):
         with pytest.raises(ValueError, match="two parents"):
@@ -164,6 +164,82 @@ class TestDerivedTrees:
         assert g.number_of_edges() == 6
         assert g.has_edge(1, 0)
         assert g.nodes[5]["w"] == 5.0
+
+
+class TestCSRRepresentation:
+    """Invariants of the CSR children arrays and the derived caches.
+
+    (Bit-level equivalence against the seed tuple-based implementation
+    lives in ``tests/sequential/test_golden_seq.py``.)
+    """
+
+    @given(task_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_csr_matches_parent_vector(self, tree):
+        ptr, idx = tree.child_ptr, tree.child_idx
+        assert ptr[0] == 0 and ptr[-1] == tree.n - 1
+        assert np.all(np.diff(ptr) >= 0)
+        for p in range(tree.n):
+            kids = idx[ptr[p] : ptr[p + 1]]
+            assert np.all(tree.parent[kids] == p)
+            assert np.all(np.diff(kids) > 0)  # ascending node order
+        # every non-root node appears exactly once
+        assert sorted(idx.tolist()) == sorted(
+            i for i in range(tree.n) if i != tree.root
+        )
+
+    @given(task_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_postorder_positions_and_subtree_slices(self, tree):
+        pos = tree.postorder_positions()
+        order = tree.postorder()
+        assert np.array_equal(pos[order], np.arange(tree.n))
+        size = tree.subtree_sizes()
+        for i in range(tree.n):
+            nodes = tree.subtree_nodes(i)
+            assert nodes[0] == i
+            assert nodes.shape[0] == size[i]
+            # a subtree is one contiguous postorder slice
+            assert np.array_equal(np.sort(pos[nodes]), np.arange(pos[i] - size[i] + 1, pos[i] + 1))
+
+    @given(task_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_vectorized_aggregates(self, tree):
+        ins = tree.input_sizes()
+        pm = tree.processing_memories()
+        for i in range(tree.n):
+            assert ins[i] == sum(float(tree.f[j]) for j in tree.children(i))
+            assert pm[i] == tree.processing_memory(i)
+
+    def test_root_cached_and_correct(self, paper_example):
+        assert paper_example.root == 0
+        assert paper_example._root == 0  # populated at construction
+
+    def test_deep_chain_fallback_consistent(self):
+        """The DFS fallback and the vectorized path agree on every cache."""
+        n = 3000
+        parent = [-1] + list(range(n - 1))
+        deep = TaskTree.from_parents(parent)  # height n-1: fallback path
+        assert deep._subtree_sizes is None  # sizes are lazy on this path
+        assert np.array_equal(deep.postorder(), np.arange(n - 1, -1, -1))
+        assert np.array_equal(deep.subtree_sizes(), np.arange(n, 0, -1))
+        assert np.array_equal(deep.depths(), np.arange(n))
+
+    def test_caches_are_read_only(self, paper_example):
+        for arr in (
+            paper_example.postorder(),
+            paper_example.depths(),
+            paper_example.child_ptr,
+            paper_example.child_idx,
+            paper_example.input_sizes(),
+        ):
+            with pytest.raises(ValueError):
+                arr[0] = 99
+
+    def test_subtree_sizes_returns_writable_copy(self, paper_example):
+        s = paper_example.subtree_sizes()
+        s[0] = -1  # must not corrupt the cache
+        assert paper_example.subtree_sizes()[0] == paper_example.n
 
 
 class TestPropertyInvariants:

@@ -1,0 +1,362 @@
+"""Golden-equivalence tests: CSR core + vectorized sequential traversals.
+
+The seed (pre-CSR) implementations of the TaskTree sweeps,
+``traversal_profile``, ``postorder_peaks`` / ``optimal_postorder`` and
+``liu_optimal_traversal`` are embedded below verbatim (adapted only to
+read children from the parent vector instead of the removed
+tuple-of-tuples cache). Every rewritten code path must reproduce their
+outputs **bit for bit** -- identical traversal orders, identical float
+peaks -- across shapes that exercise both the level-synchronous
+vectorized sweeps and the deep-tree fallbacks: random attachment trees,
+chains, stars, caterpillars, complete k-ary trees and hypothesis-random
+weighted trees.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.tree import NO_PARENT, TaskTree
+from repro.sequential.liu import hill_valley_segments, liu_optimal_traversal
+from repro.sequential.postorder import optimal_postorder, postorder_peaks
+from repro.sequential.traversal import traversal_profile
+from repro.workloads.synthetic import (
+    caterpillar,
+    complete_kary_tree,
+    random_weighted_tree,
+)
+from tests.conftest import task_trees
+
+
+# ----------------------------------------------------------------------
+# the seed implementations, embedded for a stable baseline
+# ----------------------------------------------------------------------
+def seed_children(tree: TaskTree) -> tuple[tuple[int, ...], ...]:
+    """The seed's per-node children lists (index order)."""
+    children: list[list[int]] = [[] for _ in range(tree.n)]
+    for i, p in enumerate(tree.parent.tolist()):
+        if p != NO_PARENT:
+            children[p].append(i)
+    return tuple(tuple(c) for c in children)
+
+
+def seed_postorder(tree: TaskTree, kids: tuple[tuple[int, ...], ...]) -> np.ndarray:
+    """The seed's construction-time DFS postorder."""
+    root = int(np.flatnonzero(tree.parent == NO_PARENT)[0])
+    out: list[int] = []
+    stack: list[int] = [root]
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        stack.extend(kids[node])
+    assert len(out) == tree.n
+    out.reverse()
+    return np.asarray(out, dtype=np.int64)
+
+
+def seed_subtree_nodes(tree: TaskTree, kids, i: int) -> np.ndarray:
+    out: list[int] = []
+    stack = [i]
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        stack.extend(kids[node])
+    return np.asarray(out, dtype=np.int64)
+
+
+def seed_input_size(tree: TaskTree, kids, i: int) -> float:
+    return float(sum(tree.f[j] for j in kids[i]))
+
+
+def seed_traversal_profile(tree: TaskTree, kids, order):
+    order = np.asarray(list(order), dtype=np.int64)
+    m = order.shape[0]
+    during = np.empty(m, dtype=np.float64)
+    after = np.empty(m, dtype=np.float64)
+    mem = 0.0
+    for k, node in enumerate(order):
+        node = int(node)
+        inputs = seed_input_size(tree, kids, node)
+        during[k] = mem + tree.sizes[node] + tree.f[node]
+        mem = mem + tree.f[node] - inputs
+        after[k] = mem
+    return during, after
+
+
+def seed_postorder_peaks(tree: TaskTree, kids, porder) -> np.ndarray:
+    n = tree.n
+    peaks = np.zeros(n, dtype=np.float64)
+    for i in porder:
+        i = int(i)
+        children = kids[i]
+        if not children:
+            peaks[i] = tree.sizes[i] + tree.f[i]
+            continue
+        ordered = sorted(children, key=lambda j: peaks[j] - tree.f[j], reverse=True)
+        acc = 0.0
+        best = 0.0
+        for j in ordered:
+            best = max(best, acc + peaks[j])
+            acc += tree.f[j]
+        best = max(best, acc + tree.sizes[i] + tree.f[i])
+        peaks[i] = best
+    return peaks
+
+
+def seed_optimal_postorder(tree: TaskTree, kids, porder):
+    peaks = seed_postorder_peaks(tree, kids, porder)
+    n = tree.n
+    order = np.empty(n, dtype=np.int64)
+    idx = 0
+    root = int(np.flatnonzero(tree.parent == NO_PARENT)[0])
+    sorted_children: dict[int, list[int]] = {}
+    stack: list[tuple[int, int]] = [(root, 0)]
+    while stack:
+        node, cursor = stack.pop()
+        if node not in sorted_children:
+            sorted_children[node] = sorted(
+                kids[node], key=lambda j: peaks[j] - tree.f[j], reverse=True
+            )
+        children = sorted_children[node]
+        if cursor < len(children):
+            stack.append((node, cursor + 1))
+            stack.append((children[cursor], 0))
+        else:
+            del sorted_children[node]
+            order[idx] = node
+            idx += 1
+    return order, float(peaks[root])
+
+
+class _SeedSegment:
+    __slots__ = ("hill", "valley", "nodes")
+
+    def __init__(self, hill, valley, nodes):
+        self.hill = hill
+        self.valley = valley
+        self.nodes = nodes
+
+    @property
+    def drop(self):
+        return self.hill - self.valley
+
+
+def seed_hill_valley_segments(tree: TaskTree, kids, order):
+    during, after = seed_traversal_profile(tree, kids, order)
+    segments = []
+    start = 0
+    m = len(order)
+    while start < m:
+        rel_h = int(np.argmax(during[start:])) + start
+        rel_v = int(np.argmin(after[rel_h:])) + rel_h
+        segments.append(
+            _SeedSegment(
+                hill=float(during[rel_h]),
+                valley=float(after[rel_v]),
+                nodes=tuple(order[start : rel_v + 1]),
+            )
+        )
+        start = rel_v + 1
+    return segments
+
+
+def seed_liu_optimal_traversal(tree: TaskTree, kids, porder):
+    def merge(child_segments):
+        heap = []
+        for c, segs in enumerate(child_segments):
+            if segs:
+                heapq.heappush(heap, (-segs[0].drop, c, 0))
+        merged: list[int] = []
+        while heap:
+            _, c, k = heapq.heappop(heap)
+            merged.extend(child_segments[c][k].nodes)
+            if k + 1 < len(child_segments[c]):
+                heapq.heappush(heap, (-child_segments[c][k + 1].drop, c, k + 1))
+        return merged
+
+    n = tree.n
+    orders: dict[int, list[int]] = {}
+    segments: dict[int, list[_SeedSegment]] = {}
+    for i in porder:
+        i = int(i)
+        children = kids[i]
+        if not children:
+            order = [i]
+        else:
+            order = merge([segments[c] for c in children])
+            order.append(i)
+            for c in children:
+                del orders[c], segments[c]
+        orders[i] = order
+        segments[i] = seed_hill_valley_segments(tree, kids, order)
+    root = int(np.flatnonzero(tree.parent == NO_PARENT)[0])
+    root_order = orders[root]
+    peak = max(s.hill for s in segments[root])
+    assert len(root_order) == n
+    return np.asarray(root_order, dtype=np.int64), float(peak)
+
+
+# ----------------------------------------------------------------------
+# the tree zoo: shapes that hit both vectorized and fallback paths
+# ----------------------------------------------------------------------
+def _zoo() -> list[TaskTree]:
+    rng = np.random.default_rng(20130520)
+    trees = [
+        TaskTree.from_parents([-1]),  # single node
+        TaskTree.from_parents([-1] + list(range(199))),  # deep chain (fallback)
+        TaskTree.from_parents([-1] + [0] * 199),  # star
+        TaskTree.from_parents(caterpillar(30, 3)),
+        TaskTree.from_parents(complete_kary_tree(5, 3)),
+    ]
+    for n in (50, 200, 700):
+        for bias in (0.0, 4.0, -4.0):
+            trees.append(random_weighted_tree(n, rng, bias))
+    # equal-weight trees exercise every tie-breaking path
+    trees.append(random_weighted_tree(300, rng, 0.0, max_w=1, max_f=1, max_size=0))
+    # irrational float weights: summation-order differences would show up
+    # here, so this pins that the vectorized kernels perform the exact
+    # addition sequence of the seed loops (not just exact-integer luck)
+    for n in (120, 400):
+        base = random_weighted_tree(n, rng)
+        trees.append(
+            base.with_weights(
+                w=rng.random(n) * 7,
+                f=rng.random(n) * 5,
+                sizes=rng.random(n) * 3,
+            )
+        )
+    return trees
+
+
+ZOO = _zoo()
+
+
+# ----------------------------------------------------------------------
+# golden equivalence
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("tree", ZOO, ids=lambda t: f"n{t.n}h{t.height()}")
+class TestGoldenCore:
+    def test_children_match_seed(self, tree):
+        kids = seed_children(tree)
+        for i in range(tree.n):
+            assert tree.children(i).tolist() == list(kids[i])
+            assert tree.degree(i) == len(kids[i])
+            assert tree.is_leaf(i) == (not kids[i])
+
+    def test_postorder_bit_identical(self, tree):
+        kids = seed_children(tree)
+        assert np.array_equal(tree.postorder(), seed_postorder(tree, kids))
+
+    def test_subtree_nodes_bit_identical(self, tree):
+        kids = seed_children(tree)
+        probe = range(tree.n) if tree.n <= 64 else range(0, tree.n, 17)
+        for i in probe:
+            assert np.array_equal(tree.subtree_nodes(i), seed_subtree_nodes(tree, kids, i))
+
+    def test_completion_frees_bit_identical(self, tree):
+        """The capped engine's free-on-completion sizes must keep the
+        seed's child-by-child float association (((n_i+f_1)+f_2)...),
+        not n_i + sum(f) -- those differ by an ulp for fractional f."""
+        kids = seed_children(tree)
+        ref = tree.sizes.copy()
+        for i in range(tree.n):
+            for j in kids[i]:
+                ref[i] += tree.f[j]
+        assert np.array_equal(tree.completion_frees(), ref)
+
+    def test_input_sizes_bit_identical(self, tree):
+        kids = seed_children(tree)
+        got = tree.input_sizes()
+        for i in range(tree.n):
+            assert got[i] == seed_input_size(tree, kids, i)
+            assert tree.processing_memory(i) == (
+                seed_input_size(tree, kids, i) + float(tree.sizes[i]) + float(tree.f[i])
+            )
+
+
+@pytest.mark.parametrize("tree", ZOO, ids=lambda t: f"n{t.n}h{t.height()}")
+class TestGoldenTraversals:
+    def test_profile_bit_identical(self, tree):
+        kids = seed_children(tree)
+        order = tree.postorder()
+        during, after = traversal_profile(tree, order)
+        s_during, s_after = seed_traversal_profile(tree, kids, order)
+        assert np.array_equal(during, s_during)
+        assert np.array_equal(after, s_after)
+
+    def test_postorder_peaks_bit_identical(self, tree):
+        kids = seed_children(tree)
+        porder = seed_postorder(tree, kids)
+        assert np.array_equal(
+            postorder_peaks(tree), seed_postorder_peaks(tree, kids, porder)
+        )
+
+    def test_optimal_postorder_bit_identical(self, tree):
+        kids = seed_children(tree)
+        porder = seed_postorder(tree, kids)
+        ref_order, ref_peak = seed_optimal_postorder(tree, kids, porder)
+        got = optimal_postorder(tree)
+        assert np.array_equal(got.order, ref_order)
+        assert got.peak_memory == ref_peak
+
+    def test_hill_valley_segments_bit_identical(self, tree):
+        kids = seed_children(tree)
+        order = tree.postorder()
+        got = hill_valley_segments(tree, order)
+        ref = seed_hill_valley_segments(tree, kids, list(order))
+        assert len(got) == len(ref)
+        for g, r in zip(got, ref):
+            assert g.hill == r.hill
+            assert g.valley == r.valley
+            assert g.nodes.tolist() == list(r.nodes)
+
+    def test_liu_bit_identical(self, tree):
+        kids = seed_children(tree)
+        porder = seed_postorder(tree, kids)
+        ref_order, ref_peak = seed_liu_optimal_traversal(tree, kids, porder)
+        got = liu_optimal_traversal(tree)
+        assert np.array_equal(got.order, ref_order)
+        assert got.peak_memory == ref_peak
+
+
+class TestGoldenHypothesis:
+    @given(task_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_core_and_traversals(self, tree):
+        kids = seed_children(tree)
+        porder = seed_postorder(tree, kids)
+        assert np.array_equal(tree.postorder(), porder)
+        for i in range(tree.n):
+            assert tree.children(i).tolist() == list(kids[i])
+        assert np.array_equal(
+            postorder_peaks(tree), seed_postorder_peaks(tree, kids, porder)
+        )
+        ref_order, ref_peak = seed_optimal_postorder(tree, kids, porder)
+        got = optimal_postorder(tree)
+        assert np.array_equal(got.order, ref_order)
+        assert got.peak_memory == ref_peak
+        liu_order, liu_peak = seed_liu_optimal_traversal(tree, kids, porder)
+        got_liu = liu_optimal_traversal(tree)
+        assert np.array_equal(got_liu.order, liu_order)
+        assert got_liu.peak_memory == liu_peak
+
+    @given(task_trees(max_nodes=40))
+    @settings(max_examples=40, deadline=None)
+    def test_subtree_extraction(self, tree):
+        kids = seed_children(tree)
+        for i in (0, tree.n // 2, tree.n - 1):
+            nodes_ref = seed_subtree_nodes(tree, kids, i)
+            sub, nodes = tree.subtree(i)
+            assert np.array_equal(nodes, nodes_ref)
+            # seed remap: parent of new node k is the position of its old
+            # parent within ``nodes``
+            remap = {int(old): new for new, old in enumerate(nodes_ref)}
+            for new, old in enumerate(nodes_ref.tolist()):
+                if old == i:
+                    assert sub.parent[new] == NO_PARENT
+                else:
+                    assert sub.parent[new] == remap[int(tree.parent[old])]

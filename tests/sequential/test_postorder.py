@@ -88,7 +88,7 @@ class TestOptimality:
             order = []
             stack = [(tree.root, 0)]
             shuffled = {
-                i: list(rng.permutation(tree.children(i)).astype(int))
+                i: list(rng.permutation(tree.children(i).tolist()).astype(int))
                 for i in range(tree.n)
             }
             while stack:
