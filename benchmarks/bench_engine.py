@@ -1,26 +1,27 @@
-"""Scaling benchmark: seed closure-based scheduler vs. the vectorized engine.
+"""Scaling benchmark: event-sweep implementations against each other.
 
-Times ParDeepestFirst on random trees of n in {10^3, 10^4, 10^5} through
-two paths:
+Two modes, both timing ParDeepestFirst on random trees:
 
-* **legacy** -- the seed implementation (embedded verbatim below): a
-  heapq event loop driven by a per-node Python priority closure that
-  builds a ``(float, int, int)`` tuple with numpy scalar indexing on
-  every ready insertion;
-* **vectorized** -- the unified engine (:mod:`repro.core.engine`):
-  priorities precomputed as numpy key columns collapsed into one integer
-  rank per node, integer-only heap operations in the sweep.
+* **default (legacy comparison)** -- the seed implementation (embedded
+  verbatim below: a heapq event loop driven by a per-node Python
+  priority closure) against the unified engine's pure-Python reference
+  backend, isolating what the PR-1 vectorization changed;
+* **``--compare-backends``** -- the engine's sweep backends against
+  each other (``python`` vs. every available compiled backend:
+  ``numba`` and/or ``c``), with the priority rank precomputed outside
+  the timed region so the measurement isolates the *event sweep*
+  itself. All backends must produce the identical schedule (asserted).
 
-The reference sequential postorder (shared preprocessing, identical in
-both paths) is computed once outside the timed region and passed in, so
-the measurement isolates the scheduling path the refactor changed. Both
-paths must produce the identical schedule (asserted).
+``--smoke`` runs both modes at a small size (CI guard against bit-rot);
+``--append`` appends the payload to an existing trajectory file instead
+of overwriting it (the file then holds a JSON array of entries).
 
 Writes ``BENCH_engine.json`` (repo root by default) so future PRs have a
 perf trajectory::
 
     PYTHONPATH=src python benchmarks/bench_engine.py
-    PYTHONPATH=src python benchmarks/bench_engine.py --sizes 1000 10000 --repeats 5
+    PYTHONPATH=src python benchmarks/bench_engine.py --compare-backends \
+        --sizes 100000 1000000 --append
 """
 
 from __future__ import annotations
@@ -28,15 +29,17 @@ from __future__ import annotations
 import argparse
 import heapq
 import json
+import os
 import platform
 import time
 
 import numpy as np
 
+from repro.core.engine import SchedulerEngine, available_backends
 from repro.core.schedule import Schedule
 from repro.core.tree import NO_PARENT
 from repro.parallel.list_scheduling import postorder_ranks
-from repro.parallel.par_deepest_first import par_deepest_first
+from repro.parallel.par_deepest_first import par_deepest_first, par_deepest_first_rank
 from repro.sequential.postorder import optimal_postorder
 from repro.workloads.synthetic import random_weighted_tree
 
@@ -126,6 +129,68 @@ def legacy_par_deepest_first(tree, p, order):
 
 
 # ----------------------------------------------------------------------
+# backend comparison: the event sweep itself, per engine backend
+# ----------------------------------------------------------------------
+def default_backends() -> list[str]:
+    """``python`` plus every available *compiled* backend (the
+    interpreted ``kernel`` backend is a testing aid, not a contender)."""
+    avail = available_backends()
+    return ["python"] + [b for b in ("numba", "c") if b in avail]
+
+
+def run_backend_bench(
+    sizes, p: int, repeats: int, seed: int, backends: list[str] | None = None
+) -> list[dict]:
+    """Time ``SchedulerEngine.run`` per backend on identical instances.
+
+    The priority rank and the engine are built outside the timed region,
+    so the numbers isolate the sweep (plus each backend's per-run array
+    preparation). One untimed warm-up run per backend produces the
+    reference schedule and absorbs one-time costs (numba JIT
+    compilation, the C kernel build); every backend's schedule must
+    match the pure-Python reference bit for bit.
+    """
+    backends = default_backends() if backends is None else backends
+    rows = []
+    for n in sizes:
+        tree = random_weighted_tree(int(n), np.random.default_rng(seed))
+        order = optimal_postorder(tree).order  # shared preprocessing, untimed
+        rank = par_deepest_first_rank(tree, order)
+        seconds: dict[str, float] = {}
+        ref = None
+        for backend in backends:
+            engine = SchedulerEngine(tree, p, rank, backend=backend)
+            got = engine.run()  # warm-up (JIT/compile) + reference schedule
+            assert engine.backend_used == backend, (
+                f"{backend} fell back to {engine.backend_used}"
+            )
+            if ref is None:
+                ref = got
+            else:
+                assert np.array_equal(got.start, ref.start), "backends diverged"
+                assert np.array_equal(got.proc, ref.proc), "backends diverged"
+            t, _ = best_of(engine.run, repeats)
+            seconds[backend] = round(t, 6)
+        row = {
+            "n": int(n),
+            "p": p,
+            "seconds": seconds,
+            "speedup_vs_python": {
+                b: round(seconds["python"] / seconds[b], 3)
+                for b in backends
+                if b != "python" and seconds[b] > 0
+            },
+        }
+        parts = "  ".join(f"{b} {seconds[b]:8.4f}s" for b in backends)
+        gains = "  ".join(
+            f"{b} {v:5.2f}x" for b, v in row["speedup_vs_python"].items()
+        )
+        print(f"n={row['n']:>8d} p={p}  {parts}  speedup: {gains}")
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
 def best_of(fn, repeats: int) -> tuple[float, Schedule]:
     best = float("inf")
     result = None
@@ -160,6 +225,25 @@ def run_bench(sizes, p: int, repeats: int, seed: int) -> list[dict]:
     return rows
 
 
+def write_payload(path: str, payload: dict, append: bool) -> None:
+    """Write (or append to) the benchmark trajectory file.
+
+    With ``append=True`` an existing file becomes a JSON array of
+    entries (a pre-existing single-object file is wrapped first), so
+    every perf PR keeps adding comparable numbers to the same file.
+    """
+    if append and os.path.exists(path):
+        with open(path) as fh:
+            existing = json.load(fh)
+        entries = existing if isinstance(existing, list) else [existing]
+        entries.append(payload)
+    else:
+        entries = payload
+    with open(path, "w") as fh:
+        json.dump(entries, fh, indent=1)
+        fh.write("\n")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -169,8 +253,33 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=2013)
     parser.add_argument("--output", default="BENCH_engine.json")
+    parser.add_argument(
+        "--compare-backends",
+        action="store_true",
+        help="compare the engine's sweep backends (python vs. available "
+        "compiled ones) instead of the legacy-vs-vectorized comparison",
+    )
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=None,
+        help="backends for --compare-backends (default: python + "
+        "available compiled backends)",
+    )
+    parser.add_argument(
+        "--append",
+        action="store_true",
+        help="append to the output file instead of overwriting it",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny instance, one repeat, both modes (CI bit-rot guard)",
+    )
     args = parser.parse_args(argv)
-    rows = run_bench(args.sizes, args.processors, args.repeats, args.seed)
+    if args.smoke:
+        args.sizes = [2000]
+        args.repeats = 1
     payload = {
         "benchmark": "engine",
         "algorithm": "ParDeepestFirst",
@@ -178,11 +287,17 @@ def main(argv=None) -> int:
         "machine": platform.machine(),
         "repeats": args.repeats,
         "seed": args.seed,
-        "results": rows,
+        "smoke": bool(args.smoke),
     }
-    with open(args.output, "w") as fh:
-        json.dump(payload, fh, indent=1)
-        fh.write("\n")
+    if args.smoke or not args.compare_backends:
+        payload["results"] = run_bench(
+            args.sizes, args.processors, args.repeats, args.seed
+        )
+    if args.smoke or args.compare_backends:
+        payload["backends"] = run_backend_bench(
+            args.sizes, args.processors, args.repeats, args.seed, args.backends
+        )
+    write_payload(args.output, payload, args.append)
     print(f"wrote {args.output}")
     return 0
 

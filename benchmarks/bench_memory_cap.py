@@ -7,7 +7,6 @@ memory/makespan Pareto front the bi-objective analysis of Section 4.2
 says cannot be approximated simultaneously -- but can be *navigated*.
 """
 
-import numpy as np
 
 from repro.core.simulator import simulate
 from repro.parallel import memory_bounded_schedule, par_deepest_first

@@ -12,7 +12,6 @@ node.
 Run:  python examples/scientific_workflow.py
 """
 
-import numpy as np
 
 from repro.core import TaskTree, memory_lower_bound, simulate
 from repro.parallel import HEURISTICS, memory_bounded_schedule

@@ -1,11 +1,37 @@
-"""Legacy setup shim.
+"""Package metadata (kept in ``setup.py`` on purpose).
 
 The offline environment has setuptools but no ``wheel`` package, so
-PEP 660 editable installs (which build a wheel) fail. Keeping a
-``setup.py`` lets ``pip install -e .`` use the legacy develop path.
-All metadata lives in ``pyproject.toml``.
+PEP 660 editable installs (which build a wheel) fail; a plain
+``setup.py`` keeps the legacy ``pip install -e .`` develop path working
+and is also what CI uses to install the optional compiled-backend
+extra: ``pip install '.[fast]'`` pulls in numba for the engine's
+``backend="numba"`` event-sweep kernel (see README, "Optional compiled
+backend").
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-trees",
+    version="0.3.0",
+    description=(
+        "Reproduction of 'Scheduling tree-shaped task graphs to minimize "
+        "memory and makespan' (IPDPS 2013)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    install_requires=[
+        "numpy",
+        "scipy",
+        "networkx",
+    ],
+    extras_require={
+        # compiled event-sweep backend for repro.core.engine
+        # (backend="numba"); everything works without it, this is a
+        # pure speed upgrade -- schedules are bit-identical either way
+        "fast": ["numba>=0.57"],
+        "dev": ["pytest", "hypothesis", "ruff"],
+    },
+    entry_points={"console_scripts": ["repro-trees=repro.cli:main"]},
+)

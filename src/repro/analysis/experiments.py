@@ -66,7 +66,7 @@ class ScenarioRecord:
 
 
 def _instance_records(
-    payload: tuple[TreeInstance, tuple[int, ...], tuple[str, ...], bool],
+    payload: tuple[TreeInstance, tuple[int, ...], tuple[str, ...], bool, str | None],
 ) -> list[ScenarioRecord]:
     """Records of one tree across all processor counts and algorithms.
 
@@ -75,13 +75,24 @@ def _instance_records(
     shared across processor counts, exactly as in the paper (the bound
     does not depend on ``p``).
     """
-    inst, processor_counts, names, validate = payload
+    inst, processor_counts, names, validate, backend = payload
     mem_lb = optimal_postorder(inst.tree).peak_memory
+    # The engine backend is only forwarded to algorithms that declare it
+    # (the engine-based list schedulers); the subtree-splitting family
+    # has no sweep to accelerate.
+    overrides = {
+        name: {"backend": backend}
+        if backend is not None and "backend" in registry.get(name).params
+        else {}
+        for name in names
+    }
     records: list[ScenarioRecord] = []
     for p in processor_counts:
         cmax_lb = makespan_lower_bound(inst.tree, p)
         for name in names:
-            result = simulate(registry.run(name, inst.tree, p), validate=validate)
+            result = simulate(
+                registry.run(name, inst.tree, p, **overrides[name]), validate=validate
+            )
             records.append(
                 ScenarioRecord(
                     tree=inst.name,
@@ -190,10 +201,10 @@ def _shm_attach(name: str):
 
 
 def _instance_records_shm(
-    payload: tuple[str, dict, tuple[int, ...], tuple[str, ...], bool],
+    payload: tuple[str, dict, tuple[int, ...], tuple[str, ...], bool, str | None],
 ) -> list[ScenarioRecord]:
     """Worker entry point: rebuild the tree from shared arrays, zero-copy."""
-    shm_name, d, processor_counts, names, validate = payload
+    shm_name, d, processor_counts, names, validate, backend = payload
     shm = _shm_attach(shm_name)
     views = _shm_views(shm.buf, d["base"], d["n"])
     for v in views:  # the block is shared across workers: never writable
@@ -207,7 +218,7 @@ def _instance_records_shm(
         amalgamation=d["amalgamation"],
         meta=d["meta"],
     )
-    return _instance_records((inst, processor_counts, names, validate))
+    return _instance_records((inst, processor_counts, names, validate, backend))
 
 
 def run_experiments(
@@ -220,6 +231,7 @@ def run_experiments(
     stream_to: str | None = None,
     chunksize: int = 1,
     shared_memory: bool = False,
+    backend: str | None = None,
 ) -> list[ScenarioRecord]:
     """Run the full cross product of the paper's Section 6 campaign.
 
@@ -249,6 +261,12 @@ def run_experiments(
         zero-copy views instead of unpickling per-tree copies. Only
         engaged when ``workers > 1``; results are byte-identical either
         way (property-tested). The block is unlinked before returning.
+    backend:
+        engine sweep backend forwarded to every algorithm that declares
+        it (``"auto"``/``"python"``/``"numba"``/``"c"``); with
+        ``workers > 1`` each pool worker selects/compiles its backend
+        independently, so parallel campaigns fan out compiled sweeps.
+        All backends are bit-identical, so records do not depend on it.
     """
     names = tuple(heuristics) if heuristics is not None else tuple(HEURISTICS)
     instances = list(instances)
@@ -256,7 +274,9 @@ def run_experiments(
         if not str(stream_to).endswith(".jsonl"):
             raise ValueError("stream_to must be a .jsonl path (append-friendly)")
         open(stream_to, "w").close()  # truncate: the stream restarts
-    payloads = [(inst, tuple(processor_counts), names, validate) for inst in instances]
+    payloads = [
+        (inst, tuple(processor_counts), names, validate, backend) for inst in instances
+    ]
     records: list[ScenarioRecord] = []
 
     def consume(results: Iterable[list[ScenarioRecord]]) -> None:
@@ -276,7 +296,7 @@ def run_experiments(
             shm, descriptors = _shm_pack(instances)
             try:
                 shm_payloads = [
-                    (shm.name, d, tuple(processor_counts), names, validate)
+                    (shm.name, d, tuple(processor_counts), names, validate, backend)
                     for d in descriptors
                 ]
                 with ctx.Pool(processes=workers) as pool:

@@ -3,11 +3,14 @@
 from .tree import TaskTree, NO_PARENT
 from .schedule import Schedule, ScheduledTask
 from .engine import (
+    BackendUnavailableError,
     EngineState,
     MemoryCapError,
     SchedulerEngine,
+    available_backends,
     lex_rank,
     rank_from_callable,
+    resolve_backend,
 )
 from .simulator import (
     SimulationResult,
@@ -26,11 +29,14 @@ __all__ = [
     "NO_PARENT",
     "Schedule",
     "ScheduledTask",
+    "BackendUnavailableError",
     "EngineState",
     "MemoryCapError",
     "SchedulerEngine",
+    "available_backends",
     "lex_rank",
     "rank_from_callable",
+    "resolve_backend",
     "SimulationResult",
     "simulate",
     "peak_memory",

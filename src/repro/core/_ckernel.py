@@ -1,0 +1,430 @@
+"""C implementation of the event-sweep kernel spec (``backend="c"``).
+
+A line-for-line translation of :func:`repro.core._sweep._event_sweep`
+into C, compiled on demand with the system toolchain (``cc``/``gcc``/
+``clang``) into a shared library cached under the user cache directory
+(override with ``REPRO_KERNEL_CACHE``) and loaded via :mod:`ctypes`.
+Like the numba backend it is strictly optional: when no toolchain is
+available (or the one compile attempt fails) :func:`available` returns
+False and the engine falls back cleanly.
+
+The build is keyed by a hash of the C source, so editing the kernel
+invalidates the cache automatically and concurrent processes converge
+on the same artifact (the compile writes to a unique temporary name and
+``os.replace``-s it into place, which is atomic on POSIX).
+
+The C side follows the exact kernel spec of :mod:`repro.core._sweep`
+(same argument order, same status codes, same bit-for-bit equivalence
+contract with the pure-Python reference backend).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+
+import numpy as np
+from numpy.ctypeslib import ndpointer
+
+__all__ = ["available", "unavailable_reason", "kernel", "cache_dir"]
+
+_SOURCE = r"""
+#include <stdint.h>
+#include <stdlib.h>
+
+/* array-based binary min-heaps; pop order == heapq pop order because
+ * all keys are unique (ready entries are a rank permutation, running
+ * entries carry the node id as tie-break) */
+
+static void push_int(int64_t *heap, int64_t size, int64_t val)
+{
+    int64_t i = size;
+    while (i > 0) {
+        int64_t up = (i - 1) >> 1;
+        if (heap[up] > val) {
+            heap[i] = heap[up];
+            i = up;
+        } else {
+            break;
+        }
+    }
+    heap[i] = val;
+}
+
+static int64_t pop_int(int64_t *heap, int64_t size)
+{
+    int64_t top = heap[0];
+    int64_t m = size - 1;
+    int64_t last = heap[m];
+    int64_t i = 0;
+    for (;;) {
+        int64_t child = 2 * i + 1;
+        int64_t right;
+        if (child >= m)
+            break;
+        right = child + 1;
+        if (right < m && heap[right] < heap[child])
+            child = right;
+        if (heap[child] < last) {
+            heap[i] = heap[child];
+            i = child;
+        } else {
+            break;
+        }
+    }
+    if (m > 0)
+        heap[i] = last;
+    return top;
+}
+
+static void push_run(double *keys, int64_t *nodes, int64_t size,
+                     double k, int64_t v)
+{
+    int64_t i = size;
+    while (i > 0) {
+        int64_t up = (i - 1) >> 1;
+        double uk = keys[up];
+        int64_t uv = nodes[up];
+        if (k < uk || (k == uk && v < uv)) {
+            keys[i] = uk;
+            nodes[i] = uv;
+            i = up;
+        } else {
+            break;
+        }
+    }
+    keys[i] = k;
+    nodes[i] = v;
+}
+
+static void pop_run(double *keys, int64_t *nodes, int64_t size,
+                    double *out_k, int64_t *out_v)
+{
+    double top_k = keys[0];
+    int64_t top_v = nodes[0];
+    int64_t m = size - 1;
+    double lk = keys[m];
+    int64_t lv = nodes[m];
+    int64_t i = 0;
+    for (;;) {
+        int64_t child = 2 * i + 1;
+        int64_t right;
+        double ck;
+        int64_t cv;
+        if (child >= m)
+            break;
+        right = child + 1;
+        if (right < m && (keys[right] < keys[child] ||
+                          (keys[right] == keys[child] &&
+                           nodes[right] < nodes[child])))
+            child = right;
+        ck = keys[child];
+        cv = nodes[child];
+        if (ck < lk || (ck == lk && cv < lv)) {
+            keys[i] = ck;
+            nodes[i] = cv;
+            i = child;
+        } else {
+            break;
+        }
+    }
+    if (m > 0) {
+        keys[i] = lk;
+        nodes[i] = lv;
+    }
+    *out_k = top_k;
+    *out_v = top_v;
+}
+
+int64_t event_sweep(int64_t n, int64_t p,
+                    const int64_t *parent, int64_t *pending,
+                    const double *w,
+                    const int64_t *rank, const int64_t *byrank,
+                    int64_t mode, double cap_eps,
+                    const double *alloc, const double *free_on_end,
+                    const int64_t *sigma,
+                    double *start, double *end_out, int64_t *proc,
+                    int64_t *activation, double *mem_trace,
+                    int64_t *status, double *finals)
+{
+    int64_t *ready = malloc((size_t)n * sizeof(int64_t));
+    double *run_key = malloc((size_t)n * sizeof(double));
+    int64_t *run_node = malloc((size_t)n * sizeof(int64_t));
+    int64_t *skipped = malloc((size_t)n * sizeof(int64_t));
+    int64_t *free_stack = malloc((size_t)p * sizeof(int64_t));
+    int64_t free_count, ready_size, run_size, started, next_sigma, i, q;
+    double now, mem;
+
+    if (!ready || !run_key || !run_node || !skipped || !free_stack) {
+        status[0] = 4; /* allocation failure */
+        status[1] = -1;
+        goto done;
+    }
+    for (q = 0; q < p; q++)
+        free_stack[q] = p - 1 - q; /* pop from the tail => proc 0 first */
+    free_count = p;
+    ready_size = 0;
+    for (i = 0; i < n; i++) {
+        if (pending[i] == 0)
+            push_int(ready, ready_size++, rank[i]);
+    }
+    run_size = 0;
+    now = 0.0;
+    mem = 0.0;
+    started = 0;
+    next_sigma = 0;
+    for (;;) {
+        /* start every task the policy allows on the idle processors */
+        while (free_count > 0 && ready_size > 0) {
+            int64_t node;
+            double t_end;
+            if (mode == 0) {
+                node = byrank[pop_int(ready, ready_size--)];
+            } else if (mode == 1) {
+                int64_t r;
+                node = sigma[next_sigma];
+                if (pending[node] > 0 || mem + alloc[node] > cap_eps)
+                    break;
+                r = pop_int(ready, ready_size--);
+                if (r != rank[node]) {
+                    status[0] = 2;
+                    status[1] = node;
+                    goto done;
+                }
+            } else {
+                int64_t nskip = 0, k;
+                node = -1;
+                while (ready_size > 0) {
+                    int64_t r = pop_int(ready, ready_size--);
+                    int64_t cand = byrank[r];
+                    if (mem + alloc[cand] <= cap_eps) {
+                        node = cand;
+                        break;
+                    }
+                    skipped[nskip++] = r;
+                }
+                for (k = 0; k < nskip; k++)
+                    push_int(ready, ready_size++, skipped[k]);
+                if (node < 0)
+                    break;
+            }
+            q = free_stack[--free_count];
+            start[node] = now;
+            proc[node] = q;
+            t_end = now + w[node];
+            end_out[node] = t_end;
+            push_run(run_key, run_node, run_size++, t_end, node);
+            mem += alloc[node];
+            activation[started] = node;
+            mem_trace[started] = mem;
+            started++;
+            if (mode != 0) {
+                while (next_sigma < n && start[sigma[next_sigma]] >= 0.0)
+                    next_sigma++;
+            }
+        }
+        if (run_size == 0) {
+            if (started >= n)
+                break;
+            if (mode != 0) {
+                status[0] = 1;
+                status[1] = sigma[next_sigma];
+                finals[0] = now;
+                finals[1] = mem;
+                goto done;
+            }
+            status[0] = 3; /* deadlock (defensive) */
+            status[1] = -1;
+            goto done;
+        }
+        /* advance to the next completion event; apply every completion
+         * at that instant before assigning again */
+        {
+            int64_t node;
+            pop_run(run_key, run_node, run_size--, &now, &node);
+            for (;;) {
+                int64_t par;
+                free_stack[free_count++] = proc[node];
+                mem -= free_on_end[node];
+                par = parent[node];
+                if (par >= 0) {
+                    if (pending[par] == 1) {
+                        pending[par] = 0;
+                        push_int(ready, ready_size++, rank[par]);
+                    } else {
+                        pending[par]--;
+                    }
+                }
+                if (run_size == 0)
+                    break;
+                if (run_key[0] == now) {
+                    double ignored;
+                    pop_run(run_key, run_node, run_size--, &ignored, &node);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    status[0] = 0;
+    status[1] = n;
+    finals[0] = now;
+    finals[1] = mem;
+done:
+    free(ready);
+    free(run_key);
+    free(run_node);
+    free(skipped);
+    free(free_stack);
+    return status[0];
+}
+"""
+
+_F64 = ndpointer(dtype=np.float64, flags=("C_CONTIGUOUS",))
+_I64 = ndpointer(dtype=np.int64, flags=("C_CONTIGUOUS",))
+
+#: tri-state build cache: None = not attempted, else (fn-or-None, reason)
+_BUILD: tuple | None = None
+
+
+def cache_dir() -> str:
+    """Directory holding the compiled kernel shared libraries."""
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        return override
+    xdg = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(xdg, "repro-trees")
+
+
+def _compile() -> tuple:
+    """Build (or reuse) the shared library; returns ``(fn, reason)``."""
+    cc = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+    if cc is None:
+        return None, "no C compiler (cc/gcc/clang) on PATH"
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    directory = cache_dir()
+    lib_path = os.path.join(directory, f"event_sweep_{digest}.so")
+    if not os.path.exists(lib_path):
+        tmp_lib = None
+        try:
+            os.makedirs(directory, exist_ok=True)
+            src_path = os.path.join(directory, f"event_sweep_{digest}.c")
+            with open(src_path, "w") as fh:
+                fh.write(_SOURCE)
+            fd, tmp_lib = tempfile.mkstemp(suffix=".so", dir=directory)
+            os.close(fd)
+            cmd = [cc, "-O3", "-shared", "-fPIC", "-o", tmp_lib, src_path]
+            proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+            if proc.returncode != 0:
+                detail = (proc.stderr or proc.stdout).strip().splitlines()
+                return None, f"{cc} failed: {detail[-1] if detail else 'unknown error'}"
+            os.replace(tmp_lib, lib_path)  # atomic: racers converge
+            tmp_lib = None
+        except (OSError, subprocess.SubprocessError) as exc:
+            # a hung or broken toolchain must degrade to "unavailable",
+            # never crash engine construction out of backend="auto"
+            return None, f"kernel build failed: {exc}"
+        finally:
+            if tmp_lib is not None:
+                try:
+                    os.unlink(tmp_lib)
+                except OSError:
+                    pass
+    try:
+        lib = ctypes.CDLL(lib_path)
+    except OSError as exc:  # pragma: no cover - corrupt cache entry
+        return None, f"could not load {lib_path}: {exc}"
+    fn = lib.event_sweep
+    fn.restype = ctypes.c_int64
+    fn.argtypes = [
+        ctypes.c_int64,  # n
+        ctypes.c_int64,  # p
+        _I64,  # parent
+        _I64,  # pending (mutated)
+        _F64,  # w
+        _I64,  # rank
+        _I64,  # byrank
+        ctypes.c_int64,  # mode
+        ctypes.c_double,  # cap_eps
+        _F64,  # alloc
+        _F64,  # free_on_end
+        _I64,  # sigma
+        _F64,  # start
+        _F64,  # end_out
+        _I64,  # proc
+        _I64,  # activation
+        _F64,  # mem_trace
+        _I64,  # status
+        _F64,  # finals
+    ]
+    return fn, ""
+
+
+def _ensure_built() -> tuple:
+    global _BUILD
+    if _BUILD is None:
+        _BUILD = _compile()
+    return _BUILD
+
+
+def available() -> bool:
+    """True when the C kernel compiled (or was already cached) and loaded."""
+    return _ensure_built()[0] is not None
+
+
+def unavailable_reason() -> str:
+    """Why :func:`available` is False (empty string when available)."""
+    return _ensure_built()[1]
+
+
+def kernel(
+    parent,
+    pending,
+    w,
+    rank,
+    byrank,
+    p,
+    mode,
+    cap_eps,
+    alloc,
+    free_on_end,
+    sigma,
+    start,
+    end_out,
+    proc,
+    activation,
+    mem_trace,
+    status,
+    finals,
+):
+    """Invoke the C kernel with the spec's argument order (see _sweep)."""
+    fn, reason = _ensure_built()
+    if fn is None:  # pragma: no cover - callers check available() first
+        raise RuntimeError(f"C kernel unavailable: {reason}")
+    fn(
+        parent.shape[0],
+        p,
+        parent,
+        pending,
+        w,
+        rank,
+        byrank,
+        mode,
+        cap_eps,
+        alloc,
+        free_on_end,
+        sigma,
+        start,
+        end_out,
+        proc,
+        activation,
+        mem_trace,
+        status,
+        finals,
+    )

@@ -6,9 +6,9 @@ extension -- is an instance of the same event sweep: whenever a task
 finishes, its parent may become ready; every idle processor is then
 handed the most urgent ready task the start policy allows. Historically
 that sweep was implemented twice (``parallel/list_scheduling.py`` and
-``parallel/memory_bounded.py``); this module is now the single home of
-the heapq-driven event loop, and both entry points are thin
-configurations of :class:`SchedulerEngine`.
+``parallel/memory_bounded.py``); this module is the single home of the
+event loop, and both entry points are thin configurations of
+:class:`SchedulerEngine`.
 
 Two design points make the engine fast on large trees:
 
@@ -16,42 +16,127 @@ Two design points make the engine fast on large trees:
   Python callable returning a sortable tuple; they supply numpy key
   columns (structure of arrays) that :func:`lex_rank` collapses into a
   single integer rank per node with one ``np.lexsort``. The ready heap
-  then holds plain ``(int, int)`` pairs, so the event loop performs
-  O(log n) integer heap operations only -- no closure calls, no float
-  tuple comparisons, no numpy scalar indexing.
-* **List-backed hot loop.** All per-node arrays consulted inside the
-  sweep (``parent``, ``w``, rank, pending counters, allocation sizes)
-  are converted to Python lists once; numpy scalar indexing inside a
-  tight loop costs ~100ns per access and dominated the old
-  implementation's runtime.
+  then holds plain integer ranks, so the event loop performs O(log n)
+  integer heap operations only -- no closure calls, no float tuple
+  comparisons, no numpy scalar indexing.
+* **Pluggable sweep backends.** The sweep itself exists as a
+  backend-neutral kernel spec (:mod:`repro.core._sweep`): typed numpy
+  arrays in, typed numpy arrays out. ``backend="python"`` runs the
+  reference heapq loop below (the CPython floor, ~1.5 us/task);
+  ``backend="numba"`` runs the same kernel compiled by ``numba.njit``
+  (optional dependency, ``pip install repro-trees[fast]``);
+  ``backend="c"`` runs a C translation built on demand with the system
+  toolchain (:mod:`repro.core._ckernel`); ``backend="kernel"`` runs
+  the kernel source interpreted (slow; for testing the kernel logic
+  without a compiler). ``backend="auto"`` (the default) picks the
+  fastest available and falls back cleanly to pure Python. **Every
+  backend produces bit-identical schedules** -- pinned by the
+  cross-backend golden tests, so perf work can never silently change
+  paper results.
 
 Complexity is :math:`O(n \\log n)` (binary heaps for both the running
 set and the ready queue), matching the paper's analysis; the constant
-factor is what changed.
+factor is what the backends change.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
+from . import _sweep
+from ._sweep import SweepResult, sweep_arrays
 from .schedule import Schedule
 from .tree import TaskTree, NO_PARENT
 
 __all__ = [
+    "BACKENDS",
+    "BackendUnavailableError",
     "EngineState",
     "MemoryCapError",
     "SchedulerEngine",
+    "available_backends",
     "lex_rank",
     "rank_from_callable",
+    "resolve_backend",
 ]
+
+#: environment variable overriding the default backend selection
+BACKEND_ENV_VAR = "REPRO_ENGINE_BACKEND"
+
+#: accepted values for ``SchedulerEngine(backend=...)``
+BACKENDS = ("auto", "python", "numba", "c", "kernel")
 
 
 class MemoryCapError(RuntimeError):
     """Raised when no task fits under the cap and none is running."""
+
+
+class BackendUnavailableError(RuntimeError):
+    """An explicitly requested sweep backend cannot run here."""
+
+
+def available_backends() -> tuple[str, ...]:
+    """The concrete backends usable in this environment, fastest first.
+
+    ``python`` and ``kernel`` are always present; ``numba`` requires the
+    optional dependency (``pip install repro-trees[fast]``); ``c``
+    requires a working C toolchain (first call compiles the kernel).
+    """
+    names = []
+    if _sweep.HAVE_NUMBA:
+        names.append("numba")
+    from . import _ckernel
+
+    if _ckernel.available():
+        names.append("c")
+    names.append("python")
+    names.append("kernel")
+    return tuple(names)
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Resolve a backend request to a concrete backend name.
+
+    ``None`` reads the ``REPRO_ENGINE_BACKEND`` environment variable and
+    defaults to ``"auto"``. ``"auto"`` picks the fastest available
+    backend (numba, then the C kernel, then pure Python) and never
+    fails; explicitly requesting an unavailable backend raises
+    :class:`BackendUnavailableError` with the reason and the fix.
+    """
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR, "") or "auto"
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if backend == "auto":
+        if _sweep.HAVE_NUMBA:
+            return "numba"
+        from . import _ckernel
+
+        if _ckernel.available():
+            return "c"
+        return "python"
+    if backend == "numba" and not _sweep.HAVE_NUMBA:
+        raise BackendUnavailableError(
+            "backend='numba' requested but numba is not installed; "
+            "install the optional extra (pip install 'repro-trees[fast]' "
+            "or pip install numba), or use backend='auto' to fall back "
+            "to the fastest available backend"
+        )
+    if backend == "c":
+        from . import _ckernel
+
+        if not _ckernel.available():
+            raise BackendUnavailableError(
+                "backend='c' requested but the compiled kernel is "
+                f"unavailable ({_ckernel.unavailable_reason()}); use "
+                "backend='auto' to fall back to the fastest available backend"
+            )
+    return backend
 
 
 def lex_rank(*keys: np.ndarray) -> np.ndarray:
@@ -107,7 +192,9 @@ class EngineState:
         heap of ``(completion time, node)`` pairs: the event set.
     pending:
         per-node count of children that have not completed yet; a node
-        becomes ready when its counter reaches zero.
+        becomes ready when its counter reaches zero. (Populated by the
+        pure-Python backend only; kernel backends keep their state in
+        typed arrays and report the summary fields below.)
     free_procs:
         idle processor indices (popped from the tail, so processor 0 is
         assigned first).
@@ -130,8 +217,8 @@ class EngineState:
 
 
 class SchedulerEngine:
-    """Event-driven list scheduler with pluggable priorities and an
-    optional peak-memory cap.
+    """Event-driven list scheduler with pluggable priorities, sweep
+    backends, and an optional peak-memory cap.
 
     Parameters
     ----------
@@ -156,6 +243,12 @@ class SchedulerEngine:
         ``"opportunistic"`` -- any ready task that fits may start,
         preferring the smallest rank; a tight cap may become infeasible,
         raising :class:`MemoryCapError`.
+    backend:
+        ``"auto"`` (default; also via the ``REPRO_ENGINE_BACKEND``
+        environment variable), ``"python"``, ``"numba"``, ``"c"`` or
+        ``"kernel"`` -- see the module docstring. All backends are
+        bit-identical; explicitly requesting an unavailable one raises
+        :class:`BackendUnavailableError` at construction time.
     """
 
     def __init__(
@@ -167,12 +260,13 @@ class SchedulerEngine:
         cap: float | None = None,
         order: np.ndarray | None = None,
         mode: str = "strict",
+        backend: str | None = None,
     ) -> None:
         if p < 1:
             raise ValueError("p must be positive")
         if mode not in ("strict", "opportunistic"):
             raise ValueError(f"unknown mode {mode!r}")
-        rank = np.asarray(rank, dtype=np.int64)
+        rank = np.ascontiguousarray(rank, dtype=np.int64)
         if rank.shape[0] != tree.n:
             raise ValueError("rank must have one entry per task")
         if (
@@ -189,46 +283,151 @@ class SchedulerEngine:
         self.rank = rank
         self.cap = None if cap is None else float(cap)
         self.mode = mode
+        self.backend = resolve_backend(backend)
         if self.cap is not None:
             if order is None:
                 from repro.sequential.postorder import optimal_postorder
 
                 order = optimal_postorder(tree).order
-            order = np.asarray(order, dtype=np.int64)
+            order = np.ascontiguousarray(order, dtype=np.int64)
             if order.shape[0] != tree.n:
                 raise ValueError("order must contain every task exactly once")
             self.order = order
         else:
             self.order = None
+        # byrank[r] is the node holding rank r, so the ready heap can
+        # store bare integer ranks (fastest possible heap entries).
+        byrank = np.empty(tree.n, dtype=np.int64)
+        byrank[rank] = np.arange(tree.n, dtype=np.int64)
+        self._byrank = byrank
+        # Integral weights (the paper's data sets and the Pebble-Game
+        # regime) let the reference backend use exact integer event keys
+        # ``end * n + node``; the kernel backends always use a
+        # (float64 end, node) pair heap, whose order coincides as long
+        # as every completion time is exactly representable in a
+        # float64 (total weight below 2**53).
+        w = tree.w
+        wsum = float(w.sum())
+        self._int_keys = bool(
+            np.all(np.isfinite(w)) and np.all(np.floor(w) == w) and wsum * tree.n < 2**62
+        )
+        self._kernel_exact = (not self._int_keys) or wsum < 2**53
+        self.backend_used: str | None = None  # populated by run()
         self.state: EngineState | None = None  # populated by run()
+        self.sweep: SweepResult | None = None  # populated by run()
 
     # ------------------------------------------------------------------
     def run(self) -> Schedule:
         """Execute the event sweep and return the resulting schedule.
 
-        This is the only heapq-driven scheduling loop in the codebase;
-        both :func:`repro.parallel.list_schedule` and
-        :func:`repro.parallel.memory_bounded_schedule` end up here.
+        Both :func:`repro.parallel.list_schedule` and
+        :func:`repro.parallel.memory_bounded_schedule` end up here. The
+        kernel backends are only engaged when their float64 event keys
+        are exactly equivalent to the reference backend's integer
+        encoding (always true except for integral weights totalling
+        >= 2**53, where the sweep silently falls back to the reference
+        loop so the bit-identity contract holds unconditionally).
         """
+        if self.backend != "python" and self._kernel_exact:
+            self.backend_used = self.backend
+            return self._run_kernel()
+        self.backend_used = "python"
+        return self._run_python()
+
+    # ------------------------------------------------------------------
+    def _run_kernel(self) -> Schedule:
+        """Dispatch the sweep to the selected kernel-spec backend."""
+        tree = self.tree
+        n = tree.n
+        parent = tree.parent
+        pending = np.ascontiguousarray(np.diff(tree.child_ptr))
+        w = tree.w
+        capped = self.cap is not None
+        mode = 0 if not capped else (1 if self.mode == "strict" else 2)
+        cap_eps = (self.cap + 1e-9) if capped else 0.0
+        alloc = tree.sizes + tree.f
+        free_on_end = tree.completion_frees()
+        sigma = self.order if capped else np.empty(0, dtype=np.int64)
+        start, end, proc, activation, mem_trace, status, finals = sweep_arrays(n)
+        args = (
+            parent,
+            pending,
+            w,
+            self.rank,
+            self._byrank,
+            self.p,
+            mode,
+            cap_eps,
+            alloc,
+            free_on_end,
+            sigma,
+            start,
+            end,
+            proc,
+            activation,
+            mem_trace,
+            status,
+            finals,
+        )
+        if self.backend == "numba":
+            _sweep.JIT_KERNEL(*args)
+        elif self.backend == "c":
+            from . import _ckernel
+
+            _ckernel.kernel(*args)
+        else:  # "kernel": the interpreted spec
+            _sweep.PY_KERNEL(*args)
+        code = int(status[0])
+        if code == 1:
+            node = int(status[1])
+            mem = float(finals[1])
+            raise MemoryCapError(
+                f"cap {self.cap:g} infeasible: task {node} needs "
+                f"{mem + alloc[node]:g} with nothing running "
+                f"(mode={self.mode}; sequential peak of the activation "
+                f"order is a feasible cap in strict mode)"
+            )
+        if code == 2:
+            raise ValueError(
+                "strict mode requires rank to follow the activation order"
+            )
+        if code == 4:  # pragma: no cover - C kernel scratch malloc failed
+            raise MemoryError(
+                f"C sweep kernel could not allocate scratch heaps for n={n}"
+            )
+        if code != 0:  # pragma: no cover - defensive
+            raise RuntimeError("deadlock: tasks left but no event pending")
+        self.sweep = SweepResult(
+            start=start,
+            end=end,
+            proc=proc,
+            activation=activation,
+            mem_trace=mem_trace,
+            now=float(finals[0]),
+            mem=float(finals[1]),
+        )
+        self.state = EngineState(
+            now=float(finals[0]),
+            mem=float(finals[1]),
+            started=n,
+            next_sigma=n if capped else 0,
+        )
+        return Schedule(tree, start, proc, self.p)
+
+    # ------------------------------------------------------------------
+    def _run_python(self) -> Schedule:
+        """The pure-Python reference backend: a heapq event loop over
+        Python lists (numpy scalar indexing inside a tight loop costs
+        ~100ns per access, so all per-node arrays are converted to
+        lists once). This loop *defines* the schedule semantics; the
+        kernel backends mirror it statement for statement."""
         tree = self.tree
         n = tree.n
         parent = tree.parent.tolist()
-        # Integral weights (the paper's data sets and the Pebble-Game
-        # regime) let event keys be exact integers ``end * n + node`` --
-        # the same (completion time, node) order as the float tuples,
-        # with ~2x faster heap operations and no allocation per event.
-        int_keys = bool(
-            np.all(np.isfinite(tree.w))
-            and np.all(np.floor(tree.w) == tree.w)
-            and float(tree.w.sum()) * n < 2**62
-        )
+        int_keys = self._int_keys
         w = tree.w.astype(np.int64).tolist() if int_keys else tree.w.tolist()
         rank = self.rank.tolist()
-        # byrank[r] is the node holding rank r, so the ready heap can
-        # store bare integer ranks (fastest possible heap entries).
-        byrank_arr = np.empty(n, dtype=np.int64)
-        byrank_arr[self.rank] = np.arange(n, dtype=np.int64)
-        byrank = byrank_arr.tolist()
+        byrank = self._byrank.tolist()
         has_parent = tree.parent != NO_PARENT
         pending_arr = np.bincount(tree.parent[has_parent], minlength=n)
         ready_init = self.rank[pending_arr == 0].tolist()
@@ -236,14 +435,16 @@ class SchedulerEngine:
 
         capped = self.cap is not None
         strict = self.mode == "strict"
+        alloc = (tree.sizes + tree.f).tolist()
+        free_on_end = tree.completion_frees().tolist()
         if capped:
             cap_eps = self.cap + 1e-9
-            alloc = (tree.sizes + tree.f).tolist()
-            free_on_end = tree.completion_frees().tolist()
             sigma = self.order.tolist()
 
         start = [-1.0] * n
         proc = [-1] * n
+        activation = [-1] * n
+        mem_trace = [0.0] * n
         state = EngineState(
             ready=ready_init,
             running=[],
@@ -298,9 +499,11 @@ class SchedulerEngine:
                 proc[node] = q
                 end = now + w[node]
                 push(running, end * n + node if int_keys else (end, node))
+                mem += alloc[node]
+                activation[started] = node
+                mem_trace[started] = mem
                 started += 1
                 if capped:
-                    mem += alloc[node]
                     while next_sigma < n and start[sigma[next_sigma]] >= 0:
                         next_sigma += 1
             if not running:
@@ -330,8 +533,7 @@ class SchedulerEngine:
                 now, node = pop(running)
             while True:
                 free_push(proc[node])
-                if capped:
-                    mem -= free_on_end[node]
+                mem -= free_on_end[node]
                 par = parent[node]
                 if par != NO_PARENT:
                     if pending[par] == 1:
@@ -354,9 +556,14 @@ class SchedulerEngine:
         state.mem = mem
         state.started = started
         state.next_sigma = next_sigma
-        return Schedule(
-            tree,
-            np.asarray(start, dtype=np.float64),
-            np.asarray(proc, dtype=np.int64),
-            self.p,
+        start_arr = np.asarray(start, dtype=np.float64)
+        self.sweep = SweepResult(
+            start=start_arr,
+            end=start_arr + tree.w,
+            proc=np.asarray(proc, dtype=np.int64),
+            activation=np.asarray(activation, dtype=np.int64),
+            mem_trace=np.asarray(mem_trace, dtype=np.float64),
+            now=float(now),
+            mem=float(mem),
         )
+        return Schedule(tree, self.sweep.start, self.sweep.proc, self.p)

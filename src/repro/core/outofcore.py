@@ -93,7 +93,6 @@ def simulate_out_of_core(
 
     start = schedule.start
     end = schedule.end
-    order = np.argsort(start, kind="stable")
     # Events: (time, kind, node); kind 0 = completion, 1 = start.
     events: list[tuple[float, int, int]] = []
     for i in range(n):

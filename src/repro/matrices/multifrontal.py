@@ -161,10 +161,8 @@ def multifrontal_cholesky(
         live += update.size
         peak = max(peak, live)
         dense_cols[j] = True
-    root_updates = sum(u.size for u in updates.values())
     if any(u.size and not np.allclose(u, 0, atol=1e-8) for u in updates.values()):
         # roots' update matrices must be empty or zero: every eliminated
         # column's contribution was consumed.
         raise RuntimeError("leftover update mass at the roots")
-    del root_updates
     return MultifrontalResult(L=L, peak_update_memory=float(peak))

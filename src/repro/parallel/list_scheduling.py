@@ -40,6 +40,8 @@ def list_schedule(
     tree: TaskTree,
     p: int,
     priority: PriorityKey | np.ndarray,
+    *,
+    backend: str | None = None,
 ) -> Schedule:
     """Schedule ``tree`` on ``p`` processors by list scheduling.
 
@@ -53,6 +55,10 @@ def list_schedule(
         either an integer rank array (one rank per node, smallest rank
         runs first) or a legacy key function over node indices. Keys
         are fixed per node; both forms yield the identical schedule.
+    backend:
+        sweep backend passed through to
+        :class:`~repro.core.engine.SchedulerEngine` (default: auto
+        selection; all backends are bit-identical).
 
     Returns
     -------
@@ -66,7 +72,7 @@ def list_schedule(
         rank = rank_from_callable(tree, priority)
     else:
         rank = np.asarray(priority, dtype=np.int64)
-    return SchedulerEngine(tree, p, rank).run()
+    return SchedulerEngine(tree, p, rank, backend=backend).run()
 
 
 def postorder_ranks(tree: TaskTree, order: Sequence[int] | None = None) -> np.ndarray:

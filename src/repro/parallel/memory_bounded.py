@@ -40,6 +40,8 @@ def memory_bounded_schedule(
     cap: float,
     order: np.ndarray | None = None,
     mode: str = "strict",
+    *,
+    backend: str | None = None,
 ) -> Schedule:
     """Schedule ``tree`` on ``p`` processors under a peak-memory cap.
 
@@ -55,6 +57,10 @@ def memory_bounded_schedule(
         feasible.
     mode:
         ``"strict"`` or ``"opportunistic"`` (see module docstring).
+    backend:
+        sweep backend passed through to
+        :class:`~repro.core.engine.SchedulerEngine` (default: auto
+        selection; all backends are bit-identical).
 
     Raises
     ------
@@ -70,4 +76,6 @@ def memory_bounded_schedule(
     # The ready queue is prioritised by sigma rank in both modes.
     rank = np.empty(tree.n, dtype=np.int64)
     rank[order] = np.arange(tree.n)
-    return SchedulerEngine(tree, p, rank, cap=cap, order=order, mode=mode).run()
+    return SchedulerEngine(
+        tree, p, rank, cap=cap, order=order, mode=mode, backend=backend
+    ).run()

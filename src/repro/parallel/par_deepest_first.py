@@ -50,6 +50,7 @@ def par_deepest_first(
     tree: TaskTree,
     p: int,
     order: np.ndarray | None = None,
+    backend: str | None = None,
 ) -> Schedule:
     """Schedule ``tree`` on ``p`` processors with ParDeepestFirst.
 
@@ -60,5 +61,7 @@ def par_deepest_first(
     order:
         the reference sequential order ``O`` used to break ties among
         equal-depth leaves (default: Liu's optimal postorder).
+    backend:
+        engine sweep backend (default: auto; bit-identical either way).
     """
-    return list_schedule(tree, p, par_deepest_first_rank(tree, order))
+    return list_schedule(tree, p, par_deepest_first_rank(tree, order), backend=backend)

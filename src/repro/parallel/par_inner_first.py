@@ -55,6 +55,7 @@ def par_inner_first(
     tree: TaskTree,
     p: int,
     order: np.ndarray | None = None,
+    backend: str | None = None,
 ) -> Schedule:
     """Schedule ``tree`` on ``p`` processors with ParInnerFirst.
 
@@ -65,5 +66,7 @@ def par_inner_first(
     order:
         the reference sequential order ``O`` (default: Liu's optimal
         postorder, as in the paper).
+    backend:
+        engine sweep backend (default: auto; bit-identical either way).
     """
-    return list_schedule(tree, p, par_inner_first_rank(tree, order))
+    return list_schedule(tree, p, par_inner_first_rank(tree, order), backend=backend)

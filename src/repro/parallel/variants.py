@@ -26,14 +26,20 @@ from .list_scheduling import list_schedule, postorder_ranks
 __all__ = ["par_inner_first_naive_order", "par_hop_deepest_first", "VARIANTS"]
 
 
-def par_inner_first_naive_order(tree: TaskTree, p: int) -> Schedule:
+def par_inner_first_naive_order(
+    tree: TaskTree, p: int, backend: str | None = None
+) -> Schedule:
     """ParInnerFirst with a naive (index-order) postorder as ``O``."""
     from .par_inner_first import par_inner_first_rank
 
-    return list_schedule(tree, p, par_inner_first_rank(tree, tree.postorder()))
+    return list_schedule(
+        tree, p, par_inner_first_rank(tree, tree.postorder()), backend=backend
+    )
 
 
-def par_hop_deepest_first(tree: TaskTree, p: int) -> Schedule:
+def par_hop_deepest_first(
+    tree: TaskTree, p: int, backend: str | None = None
+) -> Schedule:
     """ParDeepestFirst with hop-count depth instead of w-weighted depth.
 
     An inner node counts one hop deeper than its edge depth: hop depth
@@ -50,7 +56,9 @@ def par_hop_deepest_first(tree: TaskTree, p: int) -> Schedule:
     depth = tree.depths()
     leaf = tree.leaf_mask()
     eff_depth = depth + np.where(leaf, 0, 1)
-    return list_schedule(tree, p, lex_rank(-eff_depth, leaf.astype(np.int64), ranks))
+    return list_schedule(
+        tree, p, lex_rank(-eff_depth, leaf.astype(np.int64), ranks), backend=backend
+    )
 
 
 #: variant name -> (base heuristic name, variant callable)

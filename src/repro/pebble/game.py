@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.schedule import Schedule
-from repro.core.tree import TaskTree, NO_PARENT
+from repro.core.tree import TaskTree
 
 __all__ = ["PebbleGame", "PebbleGameError", "pebbling_from_schedule"]
 

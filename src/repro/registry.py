@@ -100,7 +100,13 @@ def register(algorithm: Algorithm) -> Algorithm:
     return algorithm
 
 
-def _memory_bounded(tree: TaskTree, p: int, cap_factor: float = 2.0, mode: str = "strict"):
+def _memory_bounded(
+    tree: TaskTree,
+    p: int,
+    cap_factor: float = 2.0,
+    mode: str = "strict",
+    backend: str | None = None,
+):
     """Memory-capped list scheduling at ``cap_factor`` x the sequential
     optimal-postorder peak (the natural scale-free parameterisation)."""
     from repro.parallel.memory_bounded import memory_bounded_schedule
@@ -108,7 +114,7 @@ def _memory_bounded(tree: TaskTree, p: int, cap_factor: float = 2.0, mode: str =
 
     res = optimal_postorder(tree)
     return memory_bounded_schedule(
-        tree, p, cap_factor * res.peak_memory, order=res.order, mode=mode
+        tree, p, cap_factor * res.peak_memory, order=res.order, mode=mode, backend=backend
     )
 
 
@@ -140,18 +146,29 @@ def _populate() -> None:
     for name, fn, doc in (
         ("ParSubtrees", par_subtrees, "split into subtrees, one per processor (Section 5.1)"),
         ("ParSubtreesOptim", par_subtrees_optim, "ParSubtrees with work-packing optimisation"),
+    ):
+        register(Algorithm(name=name, kind="parallel", fn=fn, doc=doc))
+    # The list schedulers all run on the unified engine, whose sweep
+    # backend ("auto"/"python"/"numba"/"c") is a tunable parameter --
+    # declared here so `repro run --backend` and run_experiments can
+    # discover which algorithms accept it.
+    for name, fn, doc in (
         ("ParInnerFirst", par_inner_first, "parallel postorder: inner nodes first (Section 5.2)"),
         ("ParDeepestFirst", par_deepest_first, "critical-path list scheduling (Section 5.3)"),
         ("ParInnerFirst/naiveO", par_inner_first_naive_order, "ablation: naive postorder as O"),
         ("ParDeepestFirst/hops", par_hop_deepest_first, "ablation: hop-count depth"),
     ):
-        register(Algorithm(name=name, kind="parallel", fn=fn, doc=doc))
+        register(
+            Algorithm(
+                name=name, kind="parallel", fn=fn, params={"backend": None}, doc=doc
+            )
+        )
     register(
         Algorithm(
             name="MemoryBounded",
             kind="parallel",
             fn=_memory_bounded,
-            params={"cap_factor": 2.0, "mode": "strict"},
+            params={"cap_factor": 2.0, "mode": "strict", "backend": None},
             doc="event scheduler under a peak-memory cap (future-work extension)",
         )
     )

@@ -1,6 +1,5 @@
 """Tests for the experiment runner and record serialization."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.experiments import (

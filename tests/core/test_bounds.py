@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings
 
 from repro.core.bounds import makespan_lower_bound, memory_lower_bound
-from repro.core.simulator import simulate
 from repro.parallel.heuristics import run_all
 from tests.conftest import task_trees
 

@@ -21,7 +21,7 @@ import pytest
 from repro import registry
 from repro.core.schedule import Schedule
 from repro.core.simulator import simulate
-from repro.core.tree import TaskTree, NO_PARENT
+from repro.core.tree import NO_PARENT
 from repro.parallel.memory_bounded import MemoryCapError, memory_bounded_schedule
 from repro.parallel.list_scheduling import postorder_ranks
 from repro.sequential.postorder import optimal_postorder

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 
-from repro.core.tree import TaskTree, NO_PARENT
+from repro.core.tree import TaskTree
 from tests.conftest import task_trees
 
 

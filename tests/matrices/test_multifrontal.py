@@ -19,7 +19,6 @@ def make_spd(pattern: sp.csr_matrix, rng=None) -> sp.csr_matrix:
     a = sp.csr_matrix(pattern, copy=True).astype(np.float64)
     a.data = rng.uniform(0.1, 1.0, a.nnz)
     a = (a + a.T) / 2
-    n = a.shape[0]
     a = a + sp.diags(np.asarray(abs(a).sum(axis=1)).ravel() + 1.0)
     return sp.csr_matrix(a)
 

@@ -1,7 +1,6 @@
 """Tests for the symbolic factorization wrapper."""
 
 import numpy as np
-import pytest
 import scipy.sparse as sp
 
 from repro.matrices.generators import banded, grid2d, random_symmetric

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 
-from repro.core.schedule import Schedule
 from repro.core.tree import TaskTree
 from repro.core.validation import validate_schedule
 from repro.parallel.list_scheduling import list_schedule, postorder_ranks

@@ -1,6 +1,5 @@
 """Tests for SplitSubtrees (Algorithm 2)."""
 
-import numpy as np
 from hypothesis import given, settings
 
 from repro.core.tree import TaskTree

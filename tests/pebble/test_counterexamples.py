@@ -1,6 +1,5 @@
 """Tests for the Figure 2-5 constructions against the paper's formulas."""
 
-import numpy as np
 import pytest
 
 from repro.core.simulator import simulate

@@ -1,6 +1,5 @@
 """Tests for Liu's exact optimal traversal: certified against brute force."""
 
-import numpy as np
 from hypothesis import given, settings
 
 from repro.core.tree import TaskTree

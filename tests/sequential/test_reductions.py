@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.core.schedule import Schedule
-from repro.core.simulator import peak_memory, simulate
+from repro.core.simulator import peak_memory
 from repro.core.tree import NO_PARENT
 from repro.sequential.postorder import optimal_postorder
 from repro.sequential.reductions import (

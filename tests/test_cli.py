@@ -1,6 +1,5 @@
 """Smoke tests for the command-line interface."""
 
-import pytest
 
 from repro.cli import main
 

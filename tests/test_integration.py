@@ -17,7 +17,7 @@ from repro.matrices import (
     minimum_degree,
     symbolic_cholesky,
 )
-from repro.parallel import HEURISTICS, memory_bounded_schedule, run_all
+from repro.parallel import HEURISTICS, memory_bounded_schedule
 from repro.sequential import liu_optimal_traversal, optimal_postorder
 from repro.workloads import build_dataset
 

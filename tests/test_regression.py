@@ -9,9 +9,7 @@ If one of these fails after an intentional algorithm change, re-pin the
 values *after* confirming the new behaviour is correct.
 """
 
-import numpy as np
 
-from repro.core.simulator import simulate
 from repro.core.tree import TaskTree
 from repro.matrices import amalgamate, apply_ordering, grid2d, minimum_degree, symbolic_cholesky
 from repro.parallel import run_all
