@@ -1,6 +1,6 @@
 """Scaling benchmark: event-sweep implementations against each other.
 
-Two modes, both timing ParDeepestFirst on random trees:
+Three modes, timing schedulers on random trees:
 
 * **default (legacy comparison)** -- the seed implementation (embedded
   verbatim below: a heapq event loop driven by a per-node Python
@@ -10,9 +10,15 @@ Two modes, both timing ParDeepestFirst on random trees:
   each other (``python`` vs. every available compiled backend:
   ``numba`` and/or ``c``), with the priority rank precomputed outside
   the timed region so the measurement isolates the *event sweep*
-  itself. All backends must produce the identical schedule (asserted).
+  itself. All backends must produce the identical schedule (asserted);
+* **``--grid``** -- an (8-algorithm x 4-p) campaign grid over one tree,
+  unprepared (every scenario re-derives the tree state, the historical
+  behaviour) vs. prepared (one
+  :class:`~repro.core.prepared.PreparedTree` shared by all scenarios).
+  Both paths must produce identical schedules (asserted); the ratio is
+  the amortization win of the prepared-tree refactor.
 
-``--smoke`` runs both modes at a small size (CI guard against bit-rot);
+``--smoke`` runs all modes at a small size (CI guard against bit-rot);
 ``--append`` appends the payload to an existing trajectory file instead
 of overwriting it (the file then holds a JSON array of entries).
 
@@ -22,6 +28,8 @@ perf trajectory::
     PYTHONPATH=src python benchmarks/bench_engine.py
     PYTHONPATH=src python benchmarks/bench_engine.py --compare-backends \
         --sizes 100000 1000000 --append
+    PYTHONPATH=src python benchmarks/bench_engine.py --grid \
+        --sizes 100000 --append
 """
 
 from __future__ import annotations
@@ -35,7 +43,9 @@ import time
 
 import numpy as np
 
+from repro import registry
 from repro.core.engine import SchedulerEngine, available_backends
+from repro.core.prepared import PreparedTree
 from repro.core.schedule import Schedule
 from repro.core.tree import NO_PARENT
 from repro.parallel.list_scheduling import postorder_ranks
@@ -191,6 +201,71 @@ def run_backend_bench(
 
 
 # ----------------------------------------------------------------------
+# campaign-grid comparison: unprepared vs. PreparedTree-amortized sweeps
+# ----------------------------------------------------------------------
+
+#: the (8-algorithm) axis of the grid: every engine-based list scheduler
+#: plus a strict memory-cap sweep (strict mode is feasible at any factor
+#: >= 1, so the grid never raises)
+GRID_ALGOS: list[tuple[str, dict]] = [
+    ("ParInnerFirst", {}),
+    ("ParDeepestFirst", {}),
+    ("ParInnerFirst/naiveO", {}),
+    ("ParDeepestFirst/hops", {}),
+    ("MemoryBounded", {"cap_factor": 1.25}),
+    ("MemoryBounded", {"cap_factor": 1.5}),
+    ("MemoryBounded", {"cap_factor": 2.0}),
+    ("MemoryBounded", {"cap_factor": 3.0}),
+]
+
+#: the (4-p) axis of the grid
+GRID_PROCS = (2, 4, 8, 16)
+
+
+def run_grid_bench(sizes, repeats: int, seed: int, backend: str | None = None) -> list[dict]:
+    """Time a full (algorithm x p) grid, unprepared vs. prepared.
+
+    The unprepared path calls ``registry.run(name, tree, p)`` per
+    scenario -- every call re-derives the optimal postorder, the rank
+    permutation and the engine's typed columns, exactly what the
+    historical ``run_experiments`` did. The prepared path builds one
+    :class:`PreparedTree` (timed, inside the loop) and runs the same
+    scenarios against it. Schedules must match bit for bit.
+    """
+    rows = []
+    for n in sizes:
+        tree = random_weighted_tree(int(n), np.random.default_rng(seed))
+
+        def run_grid(target):
+            return [
+                registry.run(name, target, p, backend=backend, **params)
+                for p in GRID_PROCS
+                for name, params in GRID_ALGOS
+            ]
+
+        ref = run_grid(tree)  # warm-up (JIT/compile) + reference schedules
+        t_unprep, _ = best_of(lambda: run_grid(tree), repeats)
+        t_prep, got = best_of(lambda: run_grid(PreparedTree(tree)), repeats)
+        for a, b in zip(ref, got):
+            assert np.array_equal(a.start, b.start), "prepared path diverged"
+            assert np.array_equal(a.proc, b.proc), "prepared path diverged"
+        row = {
+            "n": int(n),
+            "grid": f"{len(GRID_ALGOS)} algorithms x {len(GRID_PROCS)} p",
+            "scenarios": len(GRID_ALGOS) * len(GRID_PROCS),
+            "unprepared_s": round(t_unprep, 6),
+            "prepared_s": round(t_prep, 6),
+            "speedup": round(t_unprep / t_prep, 3),
+        }
+        print(
+            f"n={row['n']:>8d} grid {row['grid']}  unprepared {t_unprep:8.4f}s  "
+            f"prepared {t_prep:8.4f}s  speedup {row['speedup']:5.2f}x"
+        )
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
 def best_of(fn, repeats: int) -> tuple[float, Schedule]:
     best = float("inf")
     result = None
@@ -267,6 +342,12 @@ def main(argv=None) -> int:
         "available compiled backends)",
     )
     parser.add_argument(
+        "--grid",
+        action="store_true",
+        help="compare an (algorithm x p) campaign grid unprepared vs. "
+        "amortized through one PreparedTree",
+    )
+    parser.add_argument(
         "--append",
         action="store_true",
         help="append to the output file instead of overwriting it",
@@ -274,7 +355,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="tiny instance, one repeat, both modes (CI bit-rot guard)",
+        help="tiny instance, one repeat, all modes (CI bit-rot guard)",
     )
     args = parser.parse_args(argv)
     if args.smoke:
@@ -282,14 +363,14 @@ def main(argv=None) -> int:
         args.repeats = 1
     payload = {
         "benchmark": "engine",
-        "algorithm": "ParDeepestFirst",
+        "algorithm": "grid" if args.grid and not args.compare_backends else "ParDeepestFirst",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "repeats": args.repeats,
         "seed": args.seed,
         "smoke": bool(args.smoke),
     }
-    if args.smoke or not args.compare_backends:
+    if args.smoke or not (args.compare_backends or args.grid):
         payload["results"] = run_bench(
             args.sizes, args.processors, args.repeats, args.seed
         )
@@ -297,6 +378,8 @@ def main(argv=None) -> int:
         payload["backends"] = run_backend_bench(
             args.sizes, args.processors, args.repeats, args.seed, args.backends
         )
+    if args.smoke or args.grid:
+        payload["grid"] = run_grid_bench(args.sizes, args.repeats, args.seed)
     write_payload(args.output, payload, args.append)
     print(f"wrote {args.output}")
     return 0

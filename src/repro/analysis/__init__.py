@@ -1,6 +1,7 @@
 """Experiment harness and statistics for Section 6's tables and figures."""
 
 from .experiments import ScenarioRecord, run_experiments, save_records, load_records
+from .campaign import Campaign, Scenario, run_campaign, recover_checkpoint
 from .metrics import HeuristicStats, compute_table1_stats, group_by_scenario
 from .tables import render_table1, table1_csv
 from .figures import FigureSeries, Cross, figure_data, render_figure, figure_csv
@@ -13,6 +14,10 @@ __all__ = [
     "run_experiments",
     "save_records",
     "load_records",
+    "Campaign",
+    "Scenario",
+    "run_campaign",
+    "recover_checkpoint",
     "HeuristicStats",
     "compute_table1_stats",
     "group_by_scenario",

@@ -1,0 +1,494 @@
+"""Declarative campaign grids: (instances x algorithms x p x cap factors).
+
+The paper's whole experimental section is one shape of computation:
+sweep a set of schedulers over a set of trees while varying the
+processor count (and, for the memory-capped extension, the cap). A
+:class:`Campaign` states that grid declaratively; :func:`run_campaign`
+expands it into scenarios, **groups them by tree**, and executes each
+group against a single :class:`~repro.core.prepared.PreparedTree` -- so
+the per-tree preparation (CSR counts, memory columns, the optimal
+postorder, every priority-rank permutation) is paid once per tree
+instead of once per scenario. Every algorithm in
+:mod:`repro.registry` gets grid support for free: cap factors apply to
+the algorithms that declare a ``cap_factor`` parameter, the engine
+backend to the ones that declare ``backend``.
+
+Execution properties, all property-tested:
+
+* **Deterministic order.** Scenarios expand p-major then
+  algorithm-major (then cap-major), matching the historical
+  ``run_experiments`` stream; records are collected in submission
+  order, so serial, pooled, shared-memory and sharded runs are
+  byte-identical.
+* **Resumable checkpoints.** With ``checkpoint=path`` every record is
+  appended to a JSONL file (flushed per record). ``resume=True`` reads
+  the file back, drops a truncated final line (crash residue), verifies
+  the prefix against the campaign's expected scenario stream, and only
+  runs what is missing -- the resumed file is byte-for-byte identical
+  to an uninterrupted run.
+* **Sharding.** Very large single trees (``shard_nodes=``) have their
+  scenario slice split into contiguous chunks across the pool; combined
+  with the shared-memory transport the workers attach zero-copy to one
+  block, so intra-tree fan-out costs O(1) payload per chunk.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro import registry
+from repro.core.prepared import PreparedTree
+from repro.core.simulator import simulate
+from repro.core.tree import TaskTree
+from repro.workloads.dataset import TreeInstance, PROCESSOR_COUNTS
+
+from .experiments import ScenarioRecord, save_records
+
+__all__ = ["Campaign", "Scenario", "run_campaign", "recover_checkpoint"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One expanded cell of a campaign grid.
+
+    ``label`` is what lands in :attr:`ScenarioRecord.heuristic` -- the
+    bare algorithm name, or ``name@capF`` when a cap factor was applied
+    -- and, together with ``(tree, p)``, is the resume key of the
+    record.
+    """
+
+    tree: str
+    algorithm: str
+    p: int
+    params: tuple[tuple[str, Any], ...] = ()
+    label: str = ""
+
+    def key(self) -> tuple[str, str, int]:
+        """The checkpoint identity of this scenario's record."""
+        return (self.tree, self.label, self.p)
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A declarative experiment grid over the algorithm registry.
+
+    Parameters
+    ----------
+    algorithms:
+        registry names (any kind; sequential traversals run on one
+        processor of the ``p``-processor platform like ``repro run``).
+    processor_counts:
+        the ``p`` sweep (default: the paper's five).
+    cap_factors:
+        memory-cap sweep, as multiples of the sequential optimal peak.
+        Applied to every algorithm that declares a ``cap_factor``
+        parameter (``MemoryBounded``, ``MemoryAwareSubtrees``); other
+        algorithms run once per ``p`` regardless.
+    backend:
+        engine sweep backend forwarded to every algorithm that declares
+        ``backend`` (bit-identical results either way).
+    validate:
+        re-check schedule validity inside the simulator (slower).
+    """
+
+    algorithms: tuple[str, ...]
+    processor_counts: tuple[int, ...] = PROCESSOR_COUNTS
+    cap_factors: tuple[float, ...] = ()
+    backend: str | None = None
+    validate: bool = False
+
+    def scenarios_for(self, tree_name: str) -> list[Scenario]:
+        """Expand the grid for one tree (p-major, algorithm-minor,
+        cap-innermost -- the historical record order)."""
+        out: list[Scenario] = []
+        for p in self.processor_counts:
+            for name in self.algorithms:
+                algo = registry.get(name)  # fails fast on unknown names
+                base: dict[str, Any] = {}
+                if self.backend is not None and "backend" in algo.params:
+                    base["backend"] = self.backend
+                if self.cap_factors and "cap_factor" in algo.params:
+                    for factor in self.cap_factors:
+                        out.append(
+                            Scenario(
+                                tree=tree_name,
+                                algorithm=name,
+                                p=int(p),
+                                params=tuple(
+                                    {**base, "cap_factor": float(factor)}.items()
+                                ),
+                                label=f"{name}@cap{factor:g}",
+                            )
+                        )
+                else:
+                    out.append(
+                        Scenario(
+                            tree=tree_name,
+                            algorithm=name,
+                            p=int(p),
+                            params=tuple(base.items()),
+                            label=name,
+                        )
+                    )
+        return out
+
+
+# ----------------------------------------------------------------------
+# workers: one PreparedTree per (tree, worker), reused across the slice
+# ----------------------------------------------------------------------
+def _scenario_records(
+    name: str, prepared: PreparedTree, scenarios: Sequence[Scenario], validate: bool
+) -> list[ScenarioRecord]:
+    """Records of one scenario slice against one shared preparation.
+
+    The sequential memory lower bound is computed once per tree and
+    shared across every scenario, exactly as in the paper (the bound
+    does not depend on ``p``), and every run reuses the prepared rank
+    permutations and typed sweep columns.
+    """
+    mem_lb = prepared.optimal().peak_memory
+    records: list[ScenarioRecord] = []
+    for sc in scenarios:
+        result = simulate(
+            registry.run(sc.algorithm, prepared, sc.p, **dict(sc.params)),
+            validate=validate,
+        )
+        records.append(
+            ScenarioRecord(
+                tree=name,
+                n=prepared.n,
+                p=sc.p,
+                heuristic=sc.label,
+                makespan=result.makespan,
+                memory=result.peak_memory,
+                memory_lb=mem_lb,
+                makespan_lb=prepared.makespan_lower_bound(sc.p),
+            )
+        )
+    return records
+
+
+#: process-local cache of prepared trees for sharded shared-memory
+#: groups (several chunks of one tree may land on the same worker).
+_PREPARED_CACHE: "OrderedDict[tuple, PreparedTree]" = OrderedDict()
+_PREPARED_CACHE_SIZE = 2
+
+
+def _prepared_cached(key: tuple, tree: TaskTree) -> PreparedTree:
+    prepared = _PREPARED_CACHE.get(key)
+    if prepared is None:
+        prepared = PreparedTree(tree)
+        _PREPARED_CACHE[key] = prepared
+        while len(_PREPARED_CACHE) > _PREPARED_CACHE_SIZE:
+            _PREPARED_CACHE.popitem(last=False)
+    else:
+        _PREPARED_CACHE.move_to_end(key)
+    return prepared
+
+
+def _campaign_slice(payload: tuple) -> list[ScenarioRecord]:
+    """Pool entry point: prepare the payload's tree once, run its slice."""
+    if payload[0] == "shm":
+        _, shm_name, d, scenarios, validate = payload
+        shm = _shm_attach(shm_name)
+        views = _shm_views(shm.buf, d["base"], d["n"])
+        for v in views:  # the block is shared across workers: never writable
+            v.setflags(write=False)
+        tree = TaskTree(*views)
+        prepared = _prepared_cached((shm_name, d["base"]), tree)
+        name = d["name"]
+    else:
+        _, inst, scenarios, validate = payload
+        prepared = PreparedTree(inst.tree)
+        name = inst.name
+    return _scenario_records(name, prepared, scenarios, validate)
+
+
+# ----------------------------------------------------------------------
+# shared-memory transport: workers attach to one block of tree arrays
+# instead of unpickling per-tree copies
+# ----------------------------------------------------------------------
+
+#: process-local cache of attached blocks (one entry per pool lifetime).
+_SHM_ATTACHED: dict = {}
+
+
+def _shm_views(buf, base: int, n: int) -> tuple[np.ndarray, ...]:
+    """The four typed views of one tree inside a block: ``parent``
+    (int64) then ``w``, ``f``, ``sizes`` (float64), contiguous at
+    ``base`` -- 32 bytes per node. Single source of truth for the
+    layout, used both when packing and when attaching."""
+    return (
+        np.ndarray(n, dtype=np.int64, buffer=buf, offset=base),
+        np.ndarray(n, dtype=np.float64, buffer=buf, offset=base + 8 * n),
+        np.ndarray(n, dtype=np.float64, buffer=buf, offset=base + 16 * n),
+        np.ndarray(n, dtype=np.float64, buffer=buf, offset=base + 24 * n),
+    )
+
+
+def _shm_pack(instances: Sequence[TreeInstance]):
+    """Copy every instance's tree arrays into one shared-memory block.
+
+    Returns the block and one small picklable descriptor per instance.
+    The block is unlinked before re-raising if packing fails partway, so
+    aborted campaigns never leave named segments behind.
+    """
+    from multiprocessing import shared_memory
+
+    total = sum(inst.tree.n for inst in instances) * 32
+    shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    try:
+        descriptors = []
+        base = 0
+        for inst in instances:
+            t = inst.tree
+            for view, src in zip(
+                _shm_views(shm.buf, base, t.n), (t.parent, t.w, t.f, t.sizes)
+            ):
+                view[:] = src
+            descriptors.append({"name": inst.name, "n": t.n, "base": base})
+            base += 32 * t.n
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    return shm, descriptors
+
+
+def _shm_attach(name: str):
+    """Attach to a block once per worker process (cached).
+
+    Ownership stays with the creator: only the parent unlinks. On
+    Python < 3.13 attaching *also* registers the block with the
+    resource tracker (bpo-38119), which would make a worker's tracker
+    consider it leaked and destroy it; suppress that registration
+    (newer Pythons expose ``track=False`` for exactly this).
+    """
+    shm = _SHM_ATTACHED.get(name)
+    if shm is None:
+        from multiprocessing import shared_memory
+
+        try:
+            shm = shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:  # Python < 3.13
+            from multiprocessing import resource_tracker
+
+            original_register = resource_tracker.register
+
+            def register(rname, rtype):  # pragma: no cover - trivial shim
+                if rtype != "shared_memory":
+                    original_register(rname, rtype)
+
+            resource_tracker.register = register
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original_register
+        _SHM_ATTACHED[name] = shm
+    return shm
+
+
+# ----------------------------------------------------------------------
+# resumable checkpoints
+# ----------------------------------------------------------------------
+def recover_checkpoint(path: str) -> tuple[list[ScenarioRecord], int]:
+    """Read a (possibly crash-truncated) JSONL checkpoint.
+
+    Returns the complete records and the byte offset of the valid
+    prefix. Only whole lines terminated by a newline count: a final
+    line without its newline is the residue of an interrupted flush and
+    is dropped (resuming truncates the file there, so the appended
+    continuation stays byte-identical to an uninterrupted run). A
+    malformed *complete* line cannot be crash residue and raises
+    ``ValueError``.
+    """
+    import json
+
+    with open(path, "rb") as fh:
+        data = fh.read()
+    records: list[ScenarioRecord] = []
+    pos = 0
+    size = len(data)
+    while pos < size:
+        nl = data.find(b"\n", pos)
+        if nl < 0:
+            break  # unterminated final line: crash residue, drop it
+        line = data[pos:nl].strip()
+        if line:
+            try:
+                records.append(ScenarioRecord(**json.loads(line)))
+            except (ValueError, TypeError) as exc:
+                raise ValueError(
+                    f"{path}: malformed record on a complete line "
+                    f"(not a truncated tail; the checkpoint is corrupt): {exc}"
+                ) from None
+        pos = nl + 1
+    return records, pos
+
+
+def _split_slices(items: Sequence, parts: int) -> list[Sequence]:
+    """Split ``items`` into ``parts`` contiguous, near-equal chunks."""
+    parts = max(1, min(parts, len(items)))
+    bounds = np.linspace(0, len(items), parts + 1).astype(int)
+    return [items[a:b] for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
+
+
+def run_campaign(
+    instances: Iterable[TreeInstance],
+    campaign: Campaign,
+    *,
+    workers: int = 1,
+    checkpoint: str | None = None,
+    resume: bool = False,
+    shared_memory: bool = False,
+    chunksize: int = 1,
+    progress: bool = False,
+    shard_nodes: int | None = None,
+) -> list[ScenarioRecord]:
+    """Execute a campaign grid, optionally resuming a checkpoint.
+
+    Parameters
+    ----------
+    instances, campaign:
+        the trees and the declarative grid to run over them.
+    workers:
+        multiprocessing pool size; 1 runs in process. Any value yields
+        the identical record stream (groups are dispatched and
+        collected in order).
+    checkpoint:
+        JSONL path receiving every record as soon as it exists (flushed
+        per record). Without ``resume`` the file is truncated first.
+    resume:
+        continue a previous run of the *same* campaign from
+        ``checkpoint``: completed records are loaded (a truncated final
+        line is dropped and overwritten), verified against the expected
+        scenario stream, and only missing scenarios are executed. The
+        finished file is byte-identical to an uninterrupted run.
+    shared_memory:
+        ship tree arrays to workers through one
+        ``multiprocessing.shared_memory`` block (zero-copy attach).
+    chunksize:
+        work units per pool task.
+    progress:
+        print one line per completed tree.
+    shard_nodes:
+        when set and ``workers > 1``, trees with at least this many
+        nodes have their scenario slice split across up to ``workers``
+        contiguous chunks (each chunk re-prepares the tree, so this
+        pays off when the per-scenario work dominates the preparation
+        -- very large trees, many scenarios). Record order is
+        unchanged.
+    """
+    instances = list(instances)
+    groups = [campaign.scenarios_for(inst.name) for inst in instances]
+    done = [0] * len(groups)
+    loaded: list[list[ScenarioRecord]] = [[] for _ in groups]
+
+    if checkpoint is not None:
+        if not str(checkpoint).endswith(".jsonl"):
+            raise ValueError("stream checkpoint must be a .jsonl path (append-friendly)")
+        if resume and os.path.exists(checkpoint):
+            prior, good_bytes = recover_checkpoint(checkpoint)
+            expected = [(gi, sc) for gi, grp in enumerate(groups) for sc in grp]
+            if len(prior) > len(expected):
+                raise ValueError(
+                    f"checkpoint {checkpoint!r} holds {len(prior)} records but the "
+                    f"campaign expands to {len(expected)} scenarios; it was not "
+                    "produced by this campaign"
+                )
+            for k, (record, (gi, sc)) in enumerate(zip(prior, expected)):
+                if (record.tree, record.heuristic, record.p) != sc.key():
+                    raise ValueError(
+                        f"checkpoint {checkpoint!r} diverges from this campaign at "
+                        f"record {k}: found ({record.tree!r}, {record.heuristic!r}, "
+                        f"p={record.p}), expected {sc.key()}"
+                    )
+                loaded[gi].append(record)
+                done[gi] += 1
+            with open(checkpoint, "r+b") as fh:
+                fh.truncate(good_bytes)
+        else:
+            open(checkpoint, "w").close()  # truncate: the stream restarts
+
+    # Work units: (group index, remaining scenario slice); large trees
+    # are sharded into several contiguous units of the same group.
+    units: list[tuple[int, Sequence[Scenario]]] = []
+    for gi, (inst, grp) in enumerate(zip(instances, groups)):
+        rest = grp[done[gi] :]
+        if not rest:
+            continue
+        shards = 1
+        if workers > 1 and shard_nodes is not None and inst.tree.n >= shard_nodes:
+            shards = min(workers, len(rest))
+        for chunk in _split_slices(rest, shards):
+            units.append((gi, chunk))
+
+    computed: list[list[ScenarioRecord]] = [[] for _ in groups]
+    remaining_units = [0] * len(groups)
+    for gi, _ in units:
+        remaining_units[gi] += 1
+
+    def consume(results: Iterable[list[ScenarioRecord]]) -> None:
+        for (gi, _), recs in zip(units, results):
+            computed[gi].extend(recs)
+            if checkpoint is not None:
+                save_records(recs, checkpoint, append=True)
+            remaining_units[gi] -= 1
+            if progress and remaining_units[gi] == 0:  # pragma: no cover - cosmetic
+                print(f"  done {instances[gi].name} (n={instances[gi].tree.n})")
+
+    if workers > 1 and units:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = multiprocessing.get_context()
+        if shared_memory:
+            need = sorted({gi for gi, _ in units})
+            shm, descriptors = _shm_pack([instances[gi] for gi in need])
+            desc_of = dict(zip(need, descriptors))
+            try:
+                payloads = [
+                    ("shm", shm.name, desc_of[gi], tuple(chunk), campaign.validate)
+                    for gi, chunk in units
+                ]
+                with ctx.Pool(processes=workers) as pool:
+                    consume(pool.imap(_campaign_slice, payloads, chunksize=chunksize))
+            finally:
+                shm.close()
+                shm.unlink()
+        else:
+            payloads = [
+                ("inst", instances[gi], tuple(chunk), campaign.validate)
+                for gi, chunk in units
+            ]
+            with ctx.Pool(processes=workers) as pool:
+                # imap (not imap_unordered): chunks complete out of order
+                # but are *collected* in submission order, so the record
+                # stream is byte-identical to the serial run.
+                consume(pool.imap(_campaign_slice, payloads, chunksize=chunksize))
+    else:
+        # In-process: one preparation per tree, shared across its units.
+        def run_serial():
+            prepared_group = -1
+            prepared = None
+            for gi, chunk in units:
+                if gi != prepared_group:
+                    prepared = PreparedTree(instances[gi].tree)
+                    prepared_group = gi
+                yield _scenario_records(
+                    instances[gi].name, prepared, chunk, campaign.validate
+                )
+
+        consume(run_serial())
+
+    records: list[ScenarioRecord] = []
+    for gi in range(len(groups)):
+        records.extend(loaded[gi])
+        records.extend(computed[gi])
+    return records

@@ -7,35 +7,35 @@ Every table and figure of the paper is a pure function of these records,
 implemented in :mod:`repro.analysis.metrics` /
 :mod:`repro.analysis.tables` / :mod:`repro.analysis.figures`.
 
-The runner fans the (tree x p x algorithm) cross product across a
-``multiprocessing`` pool (``workers=N``): one task per tree, dispatched
-in order, so the parallel run produces **byte-identical** records to the
-serial one (property-tested). With ``shared_memory=True`` the trees'
-numpy arrays are placed in one ``multiprocessing.shared_memory`` block
-and workers attach zero-copy views instead of unpickling per-tree
-copies -- the payload shrinks from O(total nodes) to O(instances), and
-results stay byte-identical. Records can be streamed to JSONL as each
-tree completes (``stream_to=...``), which bounds memory on large
-campaigns and leaves a resumable on-disk trail; ``save_records`` /
-``load_records`` support both the historical JSON array format and
-append-friendly JSON Lines.
+:func:`run_experiments` is now a thin configuration of the declarative
+campaign runner (:mod:`repro.analysis.campaign`): the scenario grid is
+grouped by tree, each worker builds one
+:class:`~repro.core.prepared.PreparedTree` per tree and runs its whole
+slice of the grid against the shared preparation. Fanning across a
+``multiprocessing`` pool (``workers=N``) dispatches groups in order, so
+the parallel run produces **byte-identical** records to the serial one
+(property-tested). With ``shared_memory=True`` the trees' numpy arrays
+are placed in one ``multiprocessing.shared_memory`` block and workers
+attach zero-copy views instead of unpickling per-tree copies. Records
+can be streamed to JSONL as each tree completes (``stream_to=...``),
+which bounds memory on large campaigns and leaves a resumable on-disk
+trail (see :func:`repro.analysis.campaign.run_campaign` for resuming);
+``save_records`` / ``load_records`` support both the historical JSON
+array format and append-friendly JSON Lines, and both write paths are
+crash-safe: array writes go through a temp file plus atomic rename,
+JSONL appends flush after every record, and ``load_records`` recovers
+from a truncated final line.
 """
 
 from __future__ import annotations
 
 import json
-import multiprocessing
+import math
+import os
 from dataclasses import asdict, dataclass
 from typing import Iterable, Sequence
 
-import numpy as np
-
-from repro import registry
-from repro.core.tree import TaskTree
-from repro.core.bounds import makespan_lower_bound
-from repro.core.simulator import simulate
 from repro.parallel.heuristics import HEURISTICS
-from repro.sequential.postorder import optimal_postorder
 from repro.workloads.dataset import TreeInstance, PROCESSOR_COUNTS
 
 __all__ = ["ScenarioRecord", "run_experiments", "save_records", "load_records"]
@@ -56,169 +56,17 @@ class ScenarioRecord:
 
     @property
     def memory_ratio(self) -> float:
-        """Peak memory relative to the sequential lower bound (Fig. 6 y-axis)."""
-        return self.memory / self.memory_lb if self.memory_lb > 0 else float("inf")
+        """Peak memory relative to the sequential lower bound (Fig. 6
+        y-axis). Defined for every record: a zero (degenerate) baseline
+        yields ``math.inf`` rather than raising ``ZeroDivisionError``."""
+        return self.memory / self.memory_lb if self.memory_lb > 0 else math.inf
 
     @property
     def makespan_ratio(self) -> float:
-        """Makespan relative to the lower bound (Fig. 6 x-axis)."""
-        return self.makespan / self.makespan_lb if self.makespan_lb > 0 else float("inf")
-
-
-def _instance_records(
-    payload: tuple[TreeInstance, tuple[int, ...], tuple[str, ...], bool, str | None],
-) -> list[ScenarioRecord]:
-    """Records of one tree across all processor counts and algorithms.
-
-    Top-level (picklable) so a ``multiprocessing`` pool can execute it;
-    the sequential memory lower bound is computed once per tree and
-    shared across processor counts, exactly as in the paper (the bound
-    does not depend on ``p``).
-    """
-    inst, processor_counts, names, validate, backend = payload
-    mem_lb = optimal_postorder(inst.tree).peak_memory
-    # The engine backend is only forwarded to algorithms that declare it
-    # (the engine-based list schedulers); the subtree-splitting family
-    # has no sweep to accelerate.
-    overrides = {
-        name: {"backend": backend}
-        if backend is not None and "backend" in registry.get(name).params
-        else {}
-        for name in names
-    }
-    records: list[ScenarioRecord] = []
-    for p in processor_counts:
-        cmax_lb = makespan_lower_bound(inst.tree, p)
-        for name in names:
-            result = simulate(
-                registry.run(name, inst.tree, p, **overrides[name]), validate=validate
-            )
-            records.append(
-                ScenarioRecord(
-                    tree=inst.name,
-                    n=inst.tree.n,
-                    p=p,
-                    heuristic=name,
-                    makespan=result.makespan,
-                    memory=result.peak_memory,
-                    memory_lb=mem_lb,
-                    makespan_lb=cmax_lb,
-                )
-            )
-    return records
-
-
-# ----------------------------------------------------------------------
-# shared-memory transport: workers attach to one block of tree arrays
-# instead of unpickling per-tree copies
-# ----------------------------------------------------------------------
-
-#: process-local cache of attached blocks (one entry per pool lifetime).
-_SHM_ATTACHED: dict = {}
-
-
-def _shm_views(buf, base: int, n: int) -> tuple[np.ndarray, ...]:
-    """The four typed views of one tree inside a block: ``parent``
-    (int64) then ``w``, ``f``, ``sizes`` (float64), contiguous at
-    ``base`` -- 32 bytes per node. Single source of truth for the
-    layout, used both when packing and when attaching."""
-    return (
-        np.ndarray(n, dtype=np.int64, buffer=buf, offset=base),
-        np.ndarray(n, dtype=np.float64, buffer=buf, offset=base + 8 * n),
-        np.ndarray(n, dtype=np.float64, buffer=buf, offset=base + 16 * n),
-        np.ndarray(n, dtype=np.float64, buffer=buf, offset=base + 24 * n),
-    )
-
-
-def _shm_pack(instances: Sequence[TreeInstance]):
-    """Copy every instance's tree arrays into one shared-memory block.
-
-    Returns the block and one small picklable descriptor per instance.
-    The block is unlinked before re-raising if packing fails partway, so
-    aborted campaigns never leave named segments behind.
-    """
-    from multiprocessing import shared_memory
-
-    total = sum(inst.tree.n for inst in instances) * 32
-    shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
-    try:
-        descriptors = []
-        base = 0
-        for inst in instances:
-            t = inst.tree
-            for view, src in zip(_shm_views(shm.buf, base, t.n), (t.parent, t.w, t.f, t.sizes)):
-                view[:] = src
-            descriptors.append(
-                {
-                    "name": inst.name,
-                    "matrix_name": inst.matrix_name,
-                    "ordering": inst.ordering,
-                    "amalgamation": inst.amalgamation,
-                    "meta": inst.meta,
-                    "n": t.n,
-                    "base": base,
-                }
-            )
-            base += 32 * t.n
-    except BaseException:
-        shm.close()
-        shm.unlink()
-        raise
-    return shm, descriptors
-
-
-def _shm_attach(name: str):
-    """Attach to a block once per worker process (cached).
-
-    Ownership stays with the creator: only the parent unlinks. On
-    Python < 3.13 attaching *also* registers the block with the
-    resource tracker (bpo-38119), which would make a worker's tracker
-    consider it leaked and destroy it; suppress that registration
-    (newer Pythons expose ``track=False`` for exactly this).
-    """
-    shm = _SHM_ATTACHED.get(name)
-    if shm is None:
-        from multiprocessing import shared_memory
-
-        try:
-            shm = shared_memory.SharedMemory(name=name, track=False)
-        except TypeError:  # Python < 3.13
-            from multiprocessing import resource_tracker
-
-            original_register = resource_tracker.register
-
-            def register(rname, rtype):  # pragma: no cover - trivial shim
-                if rtype != "shared_memory":
-                    original_register(rname, rtype)
-
-            resource_tracker.register = register
-            try:
-                shm = shared_memory.SharedMemory(name=name)
-            finally:
-                resource_tracker.register = original_register
-        _SHM_ATTACHED[name] = shm
-    return shm
-
-
-def _instance_records_shm(
-    payload: tuple[str, dict, tuple[int, ...], tuple[str, ...], bool, str | None],
-) -> list[ScenarioRecord]:
-    """Worker entry point: rebuild the tree from shared arrays, zero-copy."""
-    shm_name, d, processor_counts, names, validate, backend = payload
-    shm = _shm_attach(shm_name)
-    views = _shm_views(shm.buf, d["base"], d["n"])
-    for v in views:  # the block is shared across workers: never writable
-        v.setflags(write=False)
-    tree = TaskTree(*views)
-    inst = TreeInstance(
-        name=d["name"],
-        tree=tree,
-        matrix_name=d["matrix_name"],
-        ordering=d["ordering"],
-        amalgamation=d["amalgamation"],
-        meta=d["meta"],
-    )
-    return _instance_records((inst, processor_counts, names, validate, backend))
+        """Makespan relative to the lower bound (Fig. 6 x-axis).
+        Defined for every record: a zero (degenerate) baseline yields
+        ``math.inf`` rather than raising ``ZeroDivisionError``."""
+        return self.makespan / self.makespan_lb if self.makespan_lb > 0 else math.inf
 
 
 def run_experiments(
@@ -235,6 +83,11 @@ def run_experiments(
 ) -> list[ScenarioRecord]:
     """Run the full cross product of the paper's Section 6 campaign.
 
+    A thin configuration of :func:`repro.analysis.campaign.run_campaign`
+    (which adds cap-factor grids, resumable checkpoints and intra-tree
+    sharding on top); kept for the historical call sites and the paper's
+    default grid.
+
     Parameters
     ----------
     instances, processor_counts:
@@ -249,12 +102,16 @@ def run_experiments(
     workers:
         size of the ``multiprocessing`` pool; 1 (default) runs in
         process. Results are identical for any ``workers`` value --
-        trees are dispatched and collected in order.
+        trees are dispatched and collected in order, and each worker
+        prepares a tree once for its whole slice of the grid.
     stream_to:
         optional ``.jsonl`` path; each tree's records are appended as
-        soon as they are available (the file is truncated first).
+        soon as they are available (the file is truncated first), with
+        a flush after every record so an interrupted campaign leaves at
+        most one truncated line behind.
     chunksize:
-        trees per pool task (larger values amortise IPC on big grids).
+        work units per pool task (larger values amortise IPC on big
+        grids).
     shared_memory:
         place every tree's arrays in one
         ``multiprocessing.shared_memory`` block; workers attach
@@ -268,82 +125,96 @@ def run_experiments(
         independently, so parallel campaigns fan out compiled sweeps.
         All backends are bit-identical, so records do not depend on it.
     """
+    from .campaign import Campaign, run_campaign
+
     names = tuple(heuristics) if heuristics is not None else tuple(HEURISTICS)
-    instances = list(instances)
-    if stream_to is not None:
-        if not str(stream_to).endswith(".jsonl"):
-            raise ValueError("stream_to must be a .jsonl path (append-friendly)")
-        open(stream_to, "w").close()  # truncate: the stream restarts
-    payloads = [
-        (inst, tuple(processor_counts), names, validate, backend) for inst in instances
-    ]
-    records: list[ScenarioRecord] = []
-
-    def consume(results: Iterable[list[ScenarioRecord]]) -> None:
-        for inst, recs in zip(instances, results):
-            records.extend(recs)
-            if stream_to is not None:
-                save_records(recs, stream_to, append=True)
-            if progress:  # pragma: no cover - cosmetic
-                print(f"  done {inst.name} (n={inst.tree.n})")
-
-    if workers > 1 and payloads:
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX fallback
-            ctx = multiprocessing.get_context()
-        if shared_memory:
-            shm, descriptors = _shm_pack(instances)
-            try:
-                shm_payloads = [
-                    (shm.name, d, tuple(processor_counts), names, validate, backend)
-                    for d in descriptors
-                ]
-                with ctx.Pool(processes=workers) as pool:
-                    consume(
-                        pool.imap(_instance_records_shm, shm_payloads, chunksize=chunksize)
-                    )
-            finally:
-                shm.close()
-                shm.unlink()
-        else:
-            with ctx.Pool(processes=workers) as pool:
-                # imap (not imap_unordered): chunks complete out of order
-                # but are *collected* in submission order, so the record
-                # stream is byte-identical to the serial run.
-                consume(pool.imap(_instance_records, payloads, chunksize=chunksize))
-    else:
-        consume(map(_instance_records, payloads))
-    return records
+    campaign = Campaign(
+        algorithms=names,
+        processor_counts=tuple(processor_counts),
+        backend=backend,
+        validate=validate,
+    )
+    return run_campaign(
+        instances,
+        campaign,
+        workers=workers,
+        checkpoint=stream_to,
+        shared_memory=shared_memory,
+        chunksize=chunksize,
+        progress=progress,
+    )
 
 
 def save_records(
     records: Sequence[ScenarioRecord], path: str, append: bool = False
 ) -> None:
-    """Serialise records for later analysis / plotting.
+    """Serialise records for later analysis / plotting (crash-safe).
 
     Paths ending in ``.jsonl`` are written as JSON Lines (one record per
     line), which supports ``append=True`` for chunked streaming; any
-    other path gets the historical indented JSON array.
+    other path gets the historical indented JSON array. Fresh writes go
+    through a temp file in the same directory followed by an atomic
+    rename, so a crash mid-write never destroys an existing file;
+    appends flush after every record, so a crash leaves at most one
+    truncated final line (which :func:`load_records` and the campaign
+    resume path recover from).
     """
-    if str(path).endswith(".jsonl"):
-        with open(path, "a" if append else "w") as fh:
+    jsonl = str(path).endswith(".jsonl")
+    if not jsonl and append:
+        raise ValueError("append mode requires a .jsonl path")
+    if jsonl and append:
+        with open(path, "a") as fh:
             for r in records:
                 fh.write(json.dumps(asdict(r)))
                 fh.write("\n")
+                fh.flush()
         return
-    if append:
-        raise ValueError("append mode requires a .jsonl path")
-    with open(path, "w") as fh:
-        json.dump([asdict(r) for r in records], fh, indent=1)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as fh:
+            if jsonl:
+                for r in records:
+                    fh.write(json.dumps(asdict(r)))
+                    fh.write("\n")
+            else:
+                json.dump([asdict(r) for r in records], fh, indent=1)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def load_records(path: str) -> list[ScenarioRecord]:
-    """Load records written by :func:`save_records` (JSON or JSONL)."""
+    """Load records written by :func:`save_records` (JSON or JSONL).
+
+    JSONL files recover from a truncated *final* line -- the possible
+    residue of a crashed streaming run: writes always emit
+    ``record + "\\n"`` in one buffer, so crash residue is exactly an
+    *unterminated* trailing line, which is dropped. A malformed line
+    anywhere else (including a newline-terminated final line) cannot be
+    crash residue and raises ``ValueError``.
+    """
     with open(path) as fh:
         text = fh.read()
     if text.lstrip().startswith("["):
         rows = json.loads(text)
     else:
-        rows = [json.loads(line) for line in text.splitlines() if line.strip()]
+        terminated = text.endswith("\n")
+        lines = [line for line in text.splitlines() if line.strip()]
+        rows = []
+        for k, line in enumerate(lines):
+            try:
+                rows.append(json.loads(line))
+            except ValueError:
+                if k == len(lines) - 1 and not terminated:
+                    break  # truncated final line: recoverable crash residue
+                raise ValueError(
+                    f"{path}: malformed record on line {k + 1} "
+                    "(not a truncated tail; the file is corrupt)"
+                ) from None
     return [ScenarioRecord(**row) for row in rows]

@@ -1,6 +1,7 @@
 """Core model: trees, schedules, simulation, validation, and bounds."""
 
 from .tree import TaskTree, NO_PARENT
+from .prepared import PreparedTree, as_prepared, tree_of
 from .schedule import Schedule, ScheduledTask
 from .engine import (
     BackendUnavailableError,
@@ -27,6 +28,9 @@ from .trace import TraceEvent, UtilizationStats, schedule_trace, utilization, tr
 __all__ = [
     "TaskTree",
     "NO_PARENT",
+    "PreparedTree",
+    "as_prepared",
+    "tree_of",
     "Schedule",
     "ScheduledTask",
     "BackendUnavailableError",

@@ -50,6 +50,7 @@ import numpy as np
 
 from . import _sweep
 from ._sweep import SweepResult, sweep_arrays
+from .prepared import PreparedTree, as_prepared
 from .schedule import Schedule
 from .tree import TaskTree, NO_PARENT
 
@@ -224,6 +225,12 @@ class SchedulerEngine:
     ----------
     tree, p:
         the instance: task tree and number of identical processors.
+        ``tree`` may be a bare :class:`~repro.core.tree.TaskTree` or a
+        :class:`~repro.core.prepared.PreparedTree`; the prepared form
+        shares every run-invariant derivation (pending counts, memory
+        columns, exactness flags, rank inverses, list conversions)
+        across engine runs, which is what makes (algorithm x p x cap)
+        sweeps cheap. Schedules are bit-identical either way.
     rank:
         integer priority rank per node (a permutation of ``0..n-1``,
         e.g. from :func:`lex_rank` or :func:`rank_from_callable`); the
@@ -253,7 +260,7 @@ class SchedulerEngine:
 
     def __init__(
         self,
-        tree: TaskTree,
+        tree: TaskTree | PreparedTree,
         p: int,
         rank: np.ndarray,
         *,
@@ -266,18 +273,30 @@ class SchedulerEngine:
             raise ValueError("p must be positive")
         if mode not in ("strict", "opportunistic"):
             raise ValueError(f"unknown mode {mode!r}")
+        prepared = as_prepared(tree)
+        tree = prepared.tree
         rank = np.ascontiguousarray(rank, dtype=np.int64)
         if rank.shape[0] != tree.n:
             raise ValueError("rank must have one entry per task")
-        if (
-            int(rank.min()) < 0
-            or int(rank.max()) >= tree.n
-            or int(np.bincount(rank, minlength=tree.n).max()) > 1
-        ):
-            raise ValueError(
-                "rank must be a permutation of 0..n-1 (build one with "
-                "lex_rank over priority key columns)"
-            )
+        # Ranks minted by the prepared bundle are permutations by
+        # construction (their inverse is already cached); externally
+        # supplied ranks are validated as before.
+        byrank = prepared.byrank_for(rank)
+        if byrank is None:
+            if (
+                int(rank.min()) < 0
+                or int(rank.max()) >= tree.n
+                or int(np.bincount(rank, minlength=tree.n).max()) > 1
+            ):
+                raise ValueError(
+                    "rank must be a permutation of 0..n-1 (build one with "
+                    "lex_rank over priority key columns)"
+                )
+            # byrank[r] is the node holding rank r, so the ready heap can
+            # store bare integer ranks (fastest possible heap entries).
+            byrank = np.empty(tree.n, dtype=np.int64)
+            byrank[rank] = np.arange(tree.n, dtype=np.int64)
+        self.prepared = prepared
         self.tree = tree
         self.p = int(p)
         self.rank = rank
@@ -286,32 +305,23 @@ class SchedulerEngine:
         self.backend = resolve_backend(backend)
         if self.cap is not None:
             if order is None:
-                from repro.sequential.postorder import optimal_postorder
-
-                order = optimal_postorder(tree).order
+                order = prepared.optimal().order
             order = np.ascontiguousarray(order, dtype=np.int64)
             if order.shape[0] != tree.n:
                 raise ValueError("order must contain every task exactly once")
             self.order = order
         else:
             self.order = None
-        # byrank[r] is the node holding rank r, so the ready heap can
-        # store bare integer ranks (fastest possible heap entries).
-        byrank = np.empty(tree.n, dtype=np.int64)
-        byrank[rank] = np.arange(tree.n, dtype=np.int64)
         self._byrank = byrank
         # Integral weights (the paper's data sets and the Pebble-Game
         # regime) let the reference backend use exact integer event keys
         # ``end * n + node``; the kernel backends always use a
         # (float64 end, node) pair heap, whose order coincides as long
         # as every completion time is exactly representable in a
-        # float64 (total weight below 2**53).
-        w = tree.w
-        wsum = float(w.sum())
-        self._int_keys = bool(
-            np.all(np.isfinite(w)) and np.all(np.floor(w) == w) and wsum * tree.n < 2**62
-        )
-        self._kernel_exact = (not self._int_keys) or wsum < 2**53
+        # float64 (total weight below 2**53). Both flags are pure
+        # functions of the weight column, cached on the prepared bundle.
+        self._int_keys = prepared.int_keys
+        self._kernel_exact = prepared.kernel_exact
         self.backend_used: str | None = None  # populated by run()
         self.state: EngineState | None = None  # populated by run()
         self.sweep: SweepResult | None = None  # populated by run()
@@ -340,13 +350,16 @@ class SchedulerEngine:
         tree = self.tree
         n = tree.n
         parent = tree.parent
-        pending = np.ascontiguousarray(np.diff(tree.child_ptr))
+        # Run-invariant typed columns come from the prepared bundle; the
+        # kernels mutate ``pending``, so they get the reusable scratch
+        # buffer (refilled from the pristine counts, no allocation).
+        pending = self.prepared.pending_scratch()
         w = tree.w
         capped = self.cap is not None
         mode = 0 if not capped else (1 if self.mode == "strict" else 2)
         cap_eps = (self.cap + 1e-9) if capped else 0.0
-        alloc = tree.sizes + tree.f
-        free_on_end = tree.completion_frees()
+        alloc = self.prepared.alloc
+        free_on_end = self.prepared.free_on_end
         sigma = self.order if capped else np.empty(0, dtype=np.int64)
         start, end, proc, activation, mem_trace, status, finals = sweep_arrays(n)
         args = (
@@ -423,20 +436,24 @@ class SchedulerEngine:
         kernel backends mirror it statement for statement."""
         tree = self.tree
         n = tree.n
-        parent = tree.parent.tolist()
+        prepared = self.prepared
+        # The per-node array -> list conversions are run-invariant, so
+        # the prepared bundle performs them once and every later run
+        # reads the same lists (``pending`` is mutated below, hence the
+        # fresh tolist per run).
+        parent = prepared.parent_list()
         int_keys = self._int_keys
-        w = tree.w.astype(np.int64).tolist() if int_keys else tree.w.tolist()
+        w = prepared.w_list()
         rank = self.rank.tolist()
         byrank = self._byrank.tolist()
-        has_parent = tree.parent != NO_PARENT
-        pending_arr = np.bincount(tree.parent[has_parent], minlength=n)
-        ready_init = self.rank[pending_arr == 0].tolist()
-        pending = pending_arr.tolist()
+        pending0 = prepared.pending0
+        ready_init = self.rank[pending0 == 0].tolist()
+        pending = pending0.tolist()
 
         capped = self.cap is not None
         strict = self.mode == "strict"
-        alloc = (tree.sizes + tree.f).tolist()
-        free_on_end = tree.completion_frees().tolist()
+        alloc = prepared.alloc_list()
+        free_on_end = prepared.free_list()
         if capped:
             cap_eps = self.cap + 1e-9
             sigma = self.order.tolist()

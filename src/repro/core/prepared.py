@@ -1,0 +1,335 @@
+"""Per-tree preparation bundle shared across engine runs.
+
+The paper's experimental story sweeps many schedulers over the *same*
+tree while varying the processor count and the memory cap. Every one of
+those runs derives the identical state from the :class:`TaskTree`:
+
+* the CSR child counts the sweep kernels mutate (``pending``),
+* the memory columns (``alloc = sizes + f`` acquired at start,
+  ``completion_frees`` released at completion),
+* the memory-optimal sequential postorder (ParInnerFirst's leaf order,
+  ParDeepestFirst's tie-break, the capped modes' activation order, and
+  the memory lower bound of every record),
+* the per-algorithm priority rank permutations (one ``lex_rank`` sweep
+  each -- identical for every ``p`` and every cap), and
+* the pure-Python backend's list conversions of the per-node arrays.
+
+:class:`PreparedTree` computes each of these **once** (lazily, on first
+use) and hands the same typed, read-only buffers to every subsequent
+engine run, so an (algorithm x p x cap) grid pays the per-tree
+preparation a single time and the per-scenario cost collapses to the
+event sweep itself. Everything cached here is a pure function of the
+tree, so prepared-path schedules are **bit-identical** to the
+unprepared path -- pinned by the golden tests in
+``tests/core/test_prepared.py`` / ``tests/core/test_backends.py``.
+
+Every engine entry point (:class:`~repro.core.engine.SchedulerEngine`,
+``list_schedule``, the list heuristics, ``memory_bounded_schedule``,
+``registry.Algorithm.run``) accepts either a :class:`TaskTree` or a
+:class:`PreparedTree`; :func:`as_prepared` / :func:`tree_of` are the
+two conversion helpers they share. Algorithms that do not understand
+the prepared wrapper (the subtree-splitting family, the sequential
+traversals) transparently receive the underlying tree.
+
+A :class:`PreparedTree` is cheap to construct (everything is lazy); it
+only pays off when reused, which is what the campaign runner
+(:mod:`repro.analysis.campaign`) does: group scenarios by tree, prepare
+once per worker, sweep many times.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+import numpy as np
+
+from .tree import TaskTree
+
+__all__ = ["PreparedTree", "as_prepared", "tree_of"]
+
+
+def _frozen(arr: np.ndarray) -> np.ndarray:
+    """Mark an array read-only and return it (cache hygiene)."""
+    arr.setflags(write=False)
+    return arr
+
+
+class PreparedTree:
+    """Frozen bundle of everything the engine derives from a tree.
+
+    Parameters
+    ----------
+    tree:
+        the task tree to prepare. Construction is O(1); every derived
+        quantity is computed lazily on first use and cached for the
+        lifetime of the bundle.
+
+    Notes
+    -----
+    The cached arrays are read-only and shared by reference across
+    runs; the one mutable piece of state -- the ``pending`` scratch
+    buffer the sweep kernels consume -- is refilled from the pristine
+    ``pending0`` column at the start of every run, so runs never
+    observe each other. The bundle is not thread-safe (the scratch
+    buffer is shared), matching the engine's single-threaded sweep.
+    """
+
+    __slots__ = (
+        "tree",
+        "_pending0",
+        "_pending_scratch",
+        "_alloc",
+        "_optimal",
+        "_sigma_rank",
+        "_wdepths",
+        "_exactness",
+        "_ranks",
+        "_byranks",
+        "_lists",
+        "_ready_leaf_ranks_cache",
+    )
+
+    def __init__(self, tree: TaskTree) -> None:
+        if not isinstance(tree, TaskTree):
+            raise TypeError(f"PreparedTree wraps a TaskTree, got {type(tree).__name__}")
+        self.tree = tree
+        self._pending0 = None
+        self._pending_scratch = None
+        self._alloc = None
+        self._optimal = None
+        self._sigma_rank = None
+        self._wdepths = None
+        self._exactness = None
+        self._ranks: dict[Hashable, np.ndarray] = {}
+        self._byranks: dict[int, np.ndarray] = {}
+        self._lists: dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    # typed sweep columns (shared read-only across runs)
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of tasks in the underlying tree."""
+        return self.tree.n
+
+    @property
+    def pending0(self) -> np.ndarray:
+        """Pristine per-node child counts (``np.diff(child_ptr)``),
+        read-only; the sweep kernels mutate a scratch copy."""
+        if self._pending0 is None:
+            self._pending0 = _frozen(
+                np.ascontiguousarray(np.diff(self.tree.child_ptr))
+            )
+        return self._pending0
+
+    def pending_scratch(self) -> np.ndarray:
+        """The reusable ``pending`` buffer, refilled from
+        :attr:`pending0` (one memcpy instead of a diff + allocation per
+        run). Valid until the next call."""
+        if self._pending_scratch is None:
+            self._pending_scratch = self.pending0.copy()
+            self._pending_scratch.setflags(write=True)
+        else:
+            np.copyto(self._pending_scratch, self.pending0)
+        return self._pending_scratch
+
+    @property
+    def alloc(self) -> np.ndarray:
+        """Memory acquired when each task starts (``sizes + f``),
+        read-only, shared across runs."""
+        if self._alloc is None:
+            self._alloc = _frozen(self.tree.sizes + self.tree.f)
+        return self._alloc
+
+    @property
+    def free_on_end(self) -> np.ndarray:
+        """Memory released when each task completes (cached on the
+        tree itself, already read-only)."""
+        return self.tree.completion_frees()
+
+    # ------------------------------------------------------------------
+    # exactness flags (pure functions of the weight column)
+    # ------------------------------------------------------------------
+    def _exactness_flags(self) -> tuple[bool, bool]:
+        if self._exactness is None:
+            w = self.tree.w
+            wsum = float(w.sum())
+            int_keys = bool(
+                np.all(np.isfinite(w))
+                and np.all(np.floor(w) == w)
+                and wsum * self.tree.n < 2**62
+            )
+            kernel_exact = (not int_keys) or wsum < 2**53
+            self._exactness = (int_keys, kernel_exact)
+        return self._exactness
+
+    @property
+    def int_keys(self) -> bool:
+        """True when the reference backend can use exact integer event
+        keys (integral weights, total * n below 2**62)."""
+        return self._exactness_flags()[0]
+
+    @property
+    def kernel_exact(self) -> bool:
+        """True when the kernel backends' float64 event keys are exactly
+        equivalent to the reference backend's encoding."""
+        return self._exactness_flags()[1]
+
+    # ------------------------------------------------------------------
+    # shared sequential preprocessing
+    # ------------------------------------------------------------------
+    def optimal(self):
+        """Liu's memory-optimal postorder of the tree, computed once.
+
+        This single cache carries most of the grid win: the optimal
+        postorder is the reference order of ParInnerFirst and
+        ParDeepestFirst, the default activation order and cap baseline
+        of the memory-bounded modes, and the memory lower bound of
+        every experiment record.
+        """
+        if self._optimal is None:
+            from repro.sequential.postorder import optimal_postorder
+
+            self._optimal = optimal_postorder(self.tree)
+        return self._optimal
+
+    @property
+    def optimal_computed(self):
+        """The cached optimal-postorder result, or None when it has not
+        been computed yet (lets callers identity-check an explicit
+        ``order`` argument without forcing the computation)."""
+        return self._optimal
+
+    def sigma_rank(self) -> np.ndarray:
+        """Rank of every node in the optimal postorder (read-only).
+
+        ``sigma_rank()[optimal().order] == arange(n)`` -- the priority
+        permutation of the memory-bounded modes and the shared
+        tie-break column of the list heuristics.
+        """
+        if self._sigma_rank is None:
+            order = self.optimal().order
+            rank = np.empty(self.tree.n, dtype=np.int64)
+            rank[np.asarray(order, dtype=np.int64)] = np.arange(
+                self.tree.n, dtype=np.int64
+            )
+            self._sigma_rank = self._adopt_rank(_frozen(rank))
+        return self._sigma_rank
+
+    def weighted_depths(self) -> np.ndarray:
+        """w-weighted root-path length per node (cached, read-only);
+        the key column of ParDeepestFirst and the critical path."""
+        if self._wdepths is None:
+            self._wdepths = _frozen(self.tree.weighted_depths())
+        return self._wdepths
+
+    def memory_lower_bound(self) -> float:
+        """The paper's sequential memory lower bound (optimal postorder
+        peak), from the shared cache."""
+        return self.optimal().peak_memory
+
+    def makespan_lower_bound(self, p: int) -> float:
+        """``max(W / p, CP)`` with the total work and critical path read
+        from the prepared caches (bit-identical to the unprepared
+        computation)."""
+        if p < 1:
+            raise ValueError("p must be positive")
+        return max(float(self.tree.w.sum()) / p, float(self.weighted_depths().max()))
+
+    # ------------------------------------------------------------------
+    # per-algorithm priority-rank cache
+    # ------------------------------------------------------------------
+    def rank_for(
+        self, key: Hashable, builder: Callable[[], np.ndarray]
+    ) -> np.ndarray:
+        """The priority rank permutation for priority spec ``key``.
+
+        ``builder`` runs once per key; the resulting rank is frozen,
+        its inverse permutation is precomputed (so the engine skips the
+        per-run ``byrank`` scatter), and every later request returns
+        the same array. Keys identify the *priority spec* -- e.g. the
+        registry name of a heuristic with its default reference order.
+        """
+        rank = self._ranks.get(key)
+        if rank is None:
+            rank = np.ascontiguousarray(builder(), dtype=np.int64)
+            self._ranks[key] = self._adopt_rank(_frozen(rank))
+            rank = self._ranks[key]
+        return rank
+
+    def _adopt_rank(self, rank: np.ndarray) -> np.ndarray:
+        """Register ``rank`` with the byrank cache (inverse permutation
+        computed once, keyed by object identity)."""
+        if id(rank) not in self._byranks:
+            byrank = np.empty(self.tree.n, dtype=np.int64)
+            byrank[rank] = np.arange(self.tree.n, dtype=np.int64)
+            self._byranks[id(rank)] = _frozen(byrank)
+        return rank
+
+    def byrank_for(self, rank: np.ndarray) -> np.ndarray | None:
+        """Cached inverse permutation of ``rank``, or None when ``rank``
+        was not produced by this bundle (the engine then computes its
+        own, exactly as before)."""
+        return self._byranks.get(id(rank))
+
+    # ------------------------------------------------------------------
+    # pure-Python backend list caches
+    # ------------------------------------------------------------------
+    def _list(self, key: str, make: Callable[[], list]) -> list:
+        lst = self._lists.get(key)
+        if lst is None:
+            lst = make()
+            self._lists[key] = lst
+        return lst
+
+    def parent_list(self) -> list:
+        """``tree.parent.tolist()``, converted once (the reference
+        backend reads per-node arrays as Python lists)."""
+        return self._list("parent", self.tree.parent.tolist)
+
+    def w_list(self) -> list:
+        """Durations as a list -- int when the engine uses integer event
+        keys, float otherwise (same values either way)."""
+        if self.int_keys:
+            return self._list("w_int", lambda: self.tree.w.astype(np.int64).tolist())
+        return self._list("w_float", self.tree.w.tolist)
+
+    def alloc_list(self) -> list:
+        """``(sizes + f).tolist()``, converted once."""
+        return self._list("alloc", self.alloc.tolist)
+
+    def free_list(self) -> list:
+        """``completion_frees().tolist()``, converted once."""
+        return self._list("free", self.free_on_end.tolist)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cached = [
+            name
+            for name, slot in (
+                ("pending", self._pending0),
+                ("optimal", self._optimal),
+                ("wdepths", self._wdepths),
+            )
+            if slot is not None
+        ]
+        return (
+            f"PreparedTree(n={self.tree.n}, ranks={sorted(map(str, self._ranks))}, "
+            f"cached={cached})"
+        )
+
+
+def as_prepared(tree: TaskTree | PreparedTree) -> PreparedTree:
+    """Wrap ``tree`` in a :class:`PreparedTree` (pass-through when it
+    already is one). A fresh wrapper shares no caches, so wrapping a
+    bare tree per call is exactly as much work as the historical
+    unprepared path."""
+    if isinstance(tree, PreparedTree):
+        return tree
+    return PreparedTree(tree)
+
+
+def tree_of(tree: TaskTree | PreparedTree) -> TaskTree:
+    """The underlying :class:`TaskTree` of either input form."""
+    if isinstance(tree, PreparedTree):
+        return tree.tree
+    return tree

@@ -15,6 +15,12 @@ it, plus the :func:`postorder_ranks` helper shared by the heuristics.
   rank array via :func:`repro.core.engine.rank_from_callable`, which
   reproduces the historical ``(priority(i), i)`` heap order bit for bit.
 
+Every entry point accepts either a :class:`~repro.core.tree.TaskTree`
+or a :class:`~repro.core.prepared.PreparedTree`; with a prepared tree
+the reference postorder, the rank permutations and the engine's typed
+sweep columns are derived once and shared across an arbitrary number of
+``(p, cap)`` configurations -- schedules are bit-identical either way.
+
 Complexity is :math:`O(n \\log n)` either way, matching the paper's
 analysis.
 """
@@ -26,6 +32,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.engine import SchedulerEngine, rank_from_callable
+from repro.core.prepared import PreparedTree, tree_of
 from repro.core.schedule import Schedule
 from repro.core.tree import TaskTree
 
@@ -37,7 +44,7 @@ PriorityKey = Callable[[int], tuple]
 
 
 def list_schedule(
-    tree: TaskTree,
+    tree: TaskTree | PreparedTree,
     p: int,
     priority: PriorityKey | np.ndarray,
     *,
@@ -48,7 +55,8 @@ def list_schedule(
     Parameters
     ----------
     tree:
-        the task tree.
+        the task tree (bare or prepared; the prepared form amortizes
+        the engine's per-tree derivations across calls).
     p:
         number of identical processors.
     priority:
@@ -69,24 +77,30 @@ def list_schedule(
         makespan (Graham's bound).
     """
     if callable(priority):
-        rank = rank_from_callable(tree, priority)
+        rank = rank_from_callable(tree_of(tree), priority)
     else:
         rank = np.asarray(priority, dtype=np.int64)
     return SchedulerEngine(tree, p, rank, backend=backend).run()
 
 
-def postorder_ranks(tree: TaskTree, order: Sequence[int] | None = None) -> np.ndarray:
+def postorder_ranks(
+    tree: TaskTree | PreparedTree, order: Sequence[int] | None = None
+) -> np.ndarray:
     """Rank of every node in a reference sequential order ``O``.
 
     The paper uses the memory-optimal sequential postorder as ``O`` for
     both ParInnerFirst (leaf order) and ParDeepestFirst (tie-breaking);
-    when ``order`` is None that postorder is computed here.
+    when ``order`` is None that postorder is computed here -- once per
+    prepared tree, on every call for a bare tree.
     """
     if order is None:
+        if isinstance(tree, PreparedTree):
+            return tree.sigma_rank()
         from repro.sequential.postorder import optimal_postorder
 
-        order = optimal_postorder(tree).order
+        order = optimal_postorder(tree_of(tree)).order
     order = np.asarray(order, dtype=np.int64)
-    ranks = np.empty(tree.n, dtype=np.int64)
-    ranks[order] = np.arange(tree.n)
+    n = tree_of(tree).n
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[order] = np.arange(n)
     return ranks

@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.engine import MemoryCapError, SchedulerEngine
+from repro.core.prepared import PreparedTree, tree_of
 from repro.core.schedule import Schedule
 from repro.core.tree import TaskTree
 
@@ -35,7 +36,7 @@ __all__ = ["MemoryCapError", "memory_bounded_schedule"]
 
 
 def memory_bounded_schedule(
-    tree: TaskTree,
+    tree: TaskTree | PreparedTree,
     p: int,
     cap: float,
     order: np.ndarray | None = None,
@@ -48,7 +49,9 @@ def memory_bounded_schedule(
     Parameters
     ----------
     tree, p:
-        the instance.
+        the instance (``tree`` bare or prepared; with a prepared tree
+        the default activation order and its rank permutation are
+        derived once and shared across every ``(p, cap)`` combination).
     cap:
         the memory budget; the returned schedule's peak never exceeds it.
     order:
@@ -68,14 +71,28 @@ def memory_bounded_schedule(
         if the scheduler gets stuck: no running task and no startable
         task fits under the cap.
     """
-    if order is None:
-        from repro.sequential.postorder import optimal_postorder
+    if isinstance(tree, PreparedTree) and (
+        order is None
+        or (
+            tree.optimal_computed is not None
+            and order is tree.optimal_computed.order
+        )
+    ):
+        # The sigma rank (and its inverse) comes from the prepared
+        # cache; the activation order is the shared optimal postorder.
+        # (A custom order never triggers the optimal computation: the
+        # identity check only consults the already-computed cache.)
+        order = np.asarray(tree.optimal().order, dtype=np.int64)
+        rank = tree.sigma_rank()
+    else:
+        if order is None:
+            from repro.sequential.postorder import optimal_postorder
 
-        order = optimal_postorder(tree).order
-    order = np.asarray(order, dtype=np.int64)
-    # The ready queue is prioritised by sigma rank in both modes.
-    rank = np.empty(tree.n, dtype=np.int64)
-    rank[order] = np.arange(tree.n)
+            order = optimal_postorder(tree_of(tree)).order
+        order = np.asarray(order, dtype=np.int64)
+        # The ready queue is prioritised by sigma rank in both modes.
+        rank = np.empty(tree_of(tree).n, dtype=np.int64)
+        rank[order] = np.arange(tree_of(tree).n)
     return SchedulerEngine(
         tree, p, rank, cap=cap, order=order, mode=mode, backend=backend
     ).run()

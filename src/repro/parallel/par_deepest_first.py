@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.engine import lex_rank
+from repro.core.prepared import PreparedTree, tree_of
 from repro.core.schedule import Schedule
 from repro.core.tree import TaskTree
 from .list_scheduling import list_schedule, postorder_ranks
@@ -32,22 +33,35 @@ from .list_scheduling import list_schedule, postorder_ranks
 __all__ = ["par_deepest_first", "par_deepest_first_rank"]
 
 
+def _build_rank(tree: TaskTree | PreparedTree, order: np.ndarray | None) -> np.ndarray:
+    ranks = postorder_ranks(tree, order)
+    t = tree_of(tree)
+    wdepth = (
+        tree.weighted_depths()
+        if isinstance(tree, PreparedTree)
+        else t.weighted_depths()
+    )
+    leaf = t.leaf_mask()
+    return lex_rank(-wdepth, leaf.astype(np.int64), ranks)
+
+
 def par_deepest_first_rank(
-    tree: TaskTree, order: np.ndarray | None = None
+    tree: TaskTree | PreparedTree, order: np.ndarray | None = None
 ) -> np.ndarray:
     """Priority rank of every node under the ParDeepestFirst order.
 
     Equivalent to the historical per-node key
-    ``(-wdepth, is_leaf, rank_in_O)``.
+    ``(-wdepth, is_leaf, rank_in_O)``. With a prepared tree and the
+    default reference order the rank is built once and cached under the
+    priority spec ``"ParDeepestFirst"``.
     """
-    ranks = postorder_ranks(tree, order)
-    wdepth = tree.weighted_depths()
-    leaf = tree.leaf_mask()
-    return lex_rank(-wdepth, leaf.astype(np.int64), ranks)
+    if isinstance(tree, PreparedTree) and order is None:
+        return tree.rank_for("ParDeepestFirst", lambda: _build_rank(tree, None))
+    return _build_rank(tree, order)
 
 
 def par_deepest_first(
-    tree: TaskTree,
+    tree: TaskTree | PreparedTree,
     p: int,
     order: np.ndarray | None = None,
     backend: str | None = None,
@@ -57,7 +71,7 @@ def par_deepest_first(
     Parameters
     ----------
     tree, p:
-        the instance.
+        the instance (``tree`` bare or prepared).
     order:
         the reference sequential order ``O`` used to break ties among
         equal-depth leaves (default: Liu's optimal postorder).

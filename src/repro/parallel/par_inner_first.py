@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.engine import lex_rank
+from repro.core.prepared import PreparedTree, tree_of
 from repro.core.schedule import Schedule
 from repro.core.tree import TaskTree
 from .list_scheduling import list_schedule, postorder_ranks
@@ -32,18 +33,12 @@ from .list_scheduling import list_schedule, postorder_ranks
 __all__ = ["par_inner_first", "par_inner_first_rank"]
 
 
-def par_inner_first_rank(
-    tree: TaskTree, order: np.ndarray | None = None
-) -> np.ndarray:
-    """Priority rank of every node under the ParInnerFirst order.
-
-    Equivalent to the historical per-node key: leaves sort as
-    ``(1, rank_in_O, node)``, inner nodes as ``(0, -depth, rank_in_O)``.
-    """
+def _build_rank(tree: TaskTree | PreparedTree, order: np.ndarray | None) -> np.ndarray:
     ranks = postorder_ranks(tree, order)
-    depth = tree.depths()
-    leaf = tree.leaf_mask()
-    n = tree.n
+    t = tree_of(tree)
+    depth = t.depths()
+    leaf = t.leaf_mask()
+    n = t.n
     return lex_rank(
         leaf.astype(np.int64),  # inner nodes before leaves
         np.where(leaf, ranks, -depth),  # leaves in O; inner by depth
@@ -51,8 +46,23 @@ def par_inner_first_rank(
     )
 
 
+def par_inner_first_rank(
+    tree: TaskTree | PreparedTree, order: np.ndarray | None = None
+) -> np.ndarray:
+    """Priority rank of every node under the ParInnerFirst order.
+
+    Equivalent to the historical per-node key: leaves sort as
+    ``(1, rank_in_O, node)``, inner nodes as ``(0, -depth, rank_in_O)``.
+    With a prepared tree and the default reference order the rank is
+    built once and cached under the priority spec ``"ParInnerFirst"``.
+    """
+    if isinstance(tree, PreparedTree) and order is None:
+        return tree.rank_for("ParInnerFirst", lambda: _build_rank(tree, None))
+    return _build_rank(tree, order)
+
+
 def par_inner_first(
-    tree: TaskTree,
+    tree: TaskTree | PreparedTree,
     p: int,
     order: np.ndarray | None = None,
     backend: str | None = None,
@@ -62,7 +72,7 @@ def par_inner_first(
     Parameters
     ----------
     tree, p:
-        the instance.
+        the instance (``tree`` bare or prepared).
     order:
         the reference sequential order ``O`` (default: Liu's optimal
         postorder, as in the paper).

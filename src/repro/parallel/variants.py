@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.engine import lex_rank
+from repro.core.prepared import PreparedTree, tree_of
 from repro.core.schedule import Schedule
 from repro.core.tree import TaskTree
 from .list_scheduling import list_schedule, postorder_ranks
@@ -27,18 +28,23 @@ __all__ = ["par_inner_first_naive_order", "par_hop_deepest_first", "VARIANTS"]
 
 
 def par_inner_first_naive_order(
-    tree: TaskTree, p: int, backend: str | None = None
+    tree: TaskTree | PreparedTree, p: int, backend: str | None = None
 ) -> Schedule:
     """ParInnerFirst with a naive (index-order) postorder as ``O``."""
     from .par_inner_first import par_inner_first_rank
 
-    return list_schedule(
-        tree, p, par_inner_first_rank(tree, tree.postorder()), backend=backend
-    )
+    def build() -> np.ndarray:
+        return par_inner_first_rank(tree, tree_of(tree).postorder())
+
+    if isinstance(tree, PreparedTree):
+        rank = tree.rank_for("ParInnerFirst/naiveO", build)
+    else:
+        rank = build()
+    return list_schedule(tree, p, rank, backend=backend)
 
 
 def par_hop_deepest_first(
-    tree: TaskTree, p: int, backend: str | None = None
+    tree: TaskTree | PreparedTree, p: int, backend: str | None = None
 ) -> Schedule:
     """ParDeepestFirst with hop-count depth instead of w-weighted depth.
 
@@ -52,13 +58,20 @@ def par_hop_deepest_first(
     wins the tie. (An earlier revision computed this term as
     ``0 if leaf else 0`` -- a no-op; pinned by a regression test.)
     """
-    ranks = postorder_ranks(tree)
-    depth = tree.depths()
-    leaf = tree.leaf_mask()
-    eff_depth = depth + np.where(leaf, 0, 1)
-    return list_schedule(
-        tree, p, lex_rank(-eff_depth, leaf.astype(np.int64), ranks), backend=backend
-    )
+
+    def build() -> np.ndarray:
+        ranks = postorder_ranks(tree)
+        t = tree_of(tree)
+        depth = t.depths()
+        leaf = t.leaf_mask()
+        eff_depth = depth + np.where(leaf, 0, 1)
+        return lex_rank(-eff_depth, leaf.astype(np.int64), ranks)
+
+    if isinstance(tree, PreparedTree):
+        rank = tree.rank_for("ParDeepestFirst/hops", build)
+    else:
+        rank = build()
+    return list_schedule(tree, p, rank, backend=backend)
 
 
 #: variant name -> (base heuristic name, variant callable)

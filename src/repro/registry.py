@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
+from repro.core.prepared import PreparedTree, tree_of
 from repro.core.schedule import Schedule
 from repro.core.tree import TaskTree
 
@@ -56,6 +57,13 @@ class Algorithm:
         overrides for exactly these keys.
     doc:
         one-line description shown by ``repro algos``.
+    accepts_prepared:
+        True when ``fn`` understands a
+        :class:`~repro.core.prepared.PreparedTree` first argument (the
+        engine-based schedulers); others transparently receive the
+        underlying :class:`TaskTree`, so ``run`` works uniformly with
+        either input form -- which is what gives every catalogued
+        algorithm campaign-grid support for free.
     """
 
     name: str
@@ -63,17 +71,21 @@ class Algorithm:
     fn: Callable[..., Any]
     params: Mapping[str, Any] = field(default_factory=dict)
     doc: str = ""
+    accepts_prepared: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in ("sequential", "parallel"):
             raise ValueError(f"unknown kind {self.kind!r}")
 
-    def run(self, tree: TaskTree, p: int = 1, **overrides: Any) -> Schedule:
+    def run(
+        self, tree: TaskTree | PreparedTree, p: int = 1, **overrides: Any
+    ) -> Schedule:
         """Run the algorithm on ``(tree, p)`` and return its schedule.
 
         Sequential traversals execute back-to-back on processor 0 of the
         ``p``-processor platform. ``overrides`` must be a subset of the
-        registered ``params``.
+        registered ``params``. ``tree`` may be bare or prepared; the
+        schedule is bit-identical either way.
         """
         unknown = set(overrides) - set(self.params)
         if unknown:
@@ -83,9 +95,10 @@ class Algorithm:
             )
         merged = {**self.params, **overrides}
         if self.kind == "sequential":
-            result = self.fn(tree, **merged)
-            return Schedule.sequential(tree, result.order, p=max(1, p))
-        return self.fn(tree, p, **merged)
+            result = self.fn(tree_of(tree), **merged)
+            return Schedule.sequential(tree_of(tree), result.order, p=max(1, p))
+        target = tree if self.accepts_prepared else tree_of(tree)
+        return self.fn(target, p, **merged)
 
 
 _REGISTRY: dict[str, Algorithm] = {}
@@ -101,7 +114,7 @@ def register(algorithm: Algorithm) -> Algorithm:
 
 
 def _memory_bounded(
-    tree: TaskTree,
+    tree: TaskTree | PreparedTree,
     p: int,
     cap_factor: float = 2.0,
     mode: str = "strict",
@@ -110,21 +123,31 @@ def _memory_bounded(
     """Memory-capped list scheduling at ``cap_factor`` x the sequential
     optimal-postorder peak (the natural scale-free parameterisation)."""
     from repro.parallel.memory_bounded import memory_bounded_schedule
-    from repro.sequential.postorder import optimal_postorder
 
-    res = optimal_postorder(tree)
+    if isinstance(tree, PreparedTree):
+        res = tree.optimal()
+    else:
+        from repro.sequential.postorder import optimal_postorder
+
+        res = optimal_postorder(tree)
     return memory_bounded_schedule(
         tree, p, cap_factor * res.peak_memory, order=res.order, mode=mode, backend=backend
     )
 
 
-def _memory_aware_subtrees(tree: TaskTree, p: int, cap_factor: float = 2.0):
+def _memory_aware_subtrees(
+    tree: TaskTree | PreparedTree, p: int, cap_factor: float = 2.0
+):
     """ParSubtrees constrained to ``cap_factor`` x the sequential peak."""
     from repro.parallel.memory_aware_subtrees import par_subtrees_memory_aware
-    from repro.sequential.postorder import optimal_postorder
 
-    cap = cap_factor * optimal_postorder(tree).peak_memory
-    return par_subtrees_memory_aware(tree, p, cap)
+    if isinstance(tree, PreparedTree):
+        peak = tree.optimal().peak_memory
+    else:
+        from repro.sequential.postorder import optimal_postorder
+
+        peak = optimal_postorder(tree).peak_memory
+    return par_subtrees_memory_aware(tree_of(tree), p, cap_factor * peak)
 
 
 def _populate() -> None:
@@ -160,7 +183,12 @@ def _populate() -> None:
     ):
         register(
             Algorithm(
-                name=name, kind="parallel", fn=fn, params={"backend": None}, doc=doc
+                name=name,
+                kind="parallel",
+                fn=fn,
+                params={"backend": None},
+                doc=doc,
+                accepts_prepared=True,
             )
         )
     register(
@@ -170,6 +198,7 @@ def _populate() -> None:
             fn=_memory_bounded,
             params={"cap_factor": 2.0, "mode": "strict", "backend": None},
             doc="event scheduler under a peak-memory cap (future-work extension)",
+            accepts_prepared=True,
         )
     )
     register(
@@ -179,6 +208,7 @@ def _populate() -> None:
             fn=_memory_aware_subtrees,
             params={"cap_factor": 2.0},
             doc="ParSubtrees restricted to a memory budget",
+            accepts_prepared=True,
         )
     )
     for name, fn, doc in (

@@ -216,6 +216,62 @@ class TestBackendEquivalence:
 
 
 # ----------------------------------------------------------------------
+# prepared-path golden equivalence: every heuristic, every backend,
+# both memory modes (the PreparedTree refactor's acceptance contract)
+# ----------------------------------------------------------------------
+class TestPreparedEquivalence:
+    @pytest.mark.parametrize("name", sorted(registry.names("parallel")))
+    @pytest.mark.parametrize("backend", ["python"] + AVAILABLE_ALT)
+    def test_heuristics_bit_identical(self, tree, name, backend):
+        from repro.core.prepared import PreparedTree
+
+        prepared = PreparedTree(tree)  # one preparation, swept over p
+        kw = {"backend": backend} if "backend" in registry.get(name).params else {}
+        for p in (1, 2, 4, 8):
+            ref = registry.run(name, tree, p, **kw)
+            got = registry.run(name, prepared, p, **kw)
+            assert_same_schedule(got, ref)
+
+    @pytest.mark.parametrize("mode", ["strict", "opportunistic"])
+    @pytest.mark.parametrize("backend", ["python"] + AVAILABLE_ALT)
+    def test_memory_modes_bit_identical(self, tree, mode, backend):
+        from repro.core.prepared import PreparedTree
+
+        prepared = PreparedTree(tree)
+        res = optimal_postorder(tree)
+        for p in (1, 2, 4):
+            for factor in (1.0, 1.5, 3.0):
+                cap = factor * res.peak_memory
+                outcomes = []
+                for target in (tree, prepared):
+                    try:
+                        s = memory_bounded_schedule(
+                            target, p, cap, mode=mode, backend=backend
+                        )
+                        outcomes.append(("ok", s.start.tobytes(), s.proc.tobytes()))
+                    except MemoryCapError as exc:
+                        outcomes.append(("err", str(exc)))
+                assert outcomes[0] == outcomes[1], (mode, p, factor)
+
+    @pytest.mark.parametrize("backend", AVAILABLE_ALT)
+    def test_sweep_spec_outputs_bit_identical(self, tree, backend):
+        """activation order / peak-memory trace / finals also match when
+        the engine runs against a shared preparation."""
+        from repro.core.prepared import PreparedTree
+
+        prepared = PreparedTree(tree)
+        rank = par_deepest_first_rank(tree)
+        ref_eng = SchedulerEngine(tree, 4, rank, backend=backend)
+        got_eng = SchedulerEngine(prepared, 4, par_deepest_first_rank(prepared), backend=backend)
+        assert_same_schedule(got_eng.run(), ref_eng.run())
+        ref, got = ref_eng.sweep, got_eng.sweep
+        assert np.array_equal(got.activation, ref.activation)
+        assert np.array_equal(got.mem_trace, ref.mem_trace)
+        assert np.array_equal(got.end, ref.end)
+        assert got.now == ref.now and got.mem == ref.mem
+
+
+# ----------------------------------------------------------------------
 # fallback edge cases
 # ----------------------------------------------------------------------
 class TestExactnessFallback:
@@ -278,6 +334,13 @@ class TestPropertyEquivalence:
         assert_same_schedule(got, ref)
 
 
+def _worker_resolve(override: str | None) -> tuple[str, str]:
+    """Pool worker probe: what the environment default resolves to, and
+    what a per-call ``backend=`` override resolves to (top-level so the
+    fork pool can pickle it)."""
+    return resolve_backend(None), resolve_backend(override)
+
+
 # ----------------------------------------------------------------------
 # plumbing: experiments pipeline and registry forwarding
 # ----------------------------------------------------------------------
@@ -305,6 +368,39 @@ class TestPipelinePlumbing:
         ref = run_experiments(instances, (2, 4), heuristics=names, backend="python")
         got = run_experiments(instances, (2, 4), heuristics=names, backend=BEST_ALT)
         assert got == ref
+
+    def test_env_backend_propagates_to_pool_workers(self, monkeypatch):
+        """REPRO_ENGINE_BACKEND set in the parent is inherited by fork
+        pool workers (their ``resolve_backend(None)`` sees it), while a
+        per-call ``backend=`` override still wins inside the worker."""
+        import multiprocessing
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "kernel")  # never auto-selected
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=2) as pool:
+            results = pool.map(_worker_resolve, [None, "python", None])
+        assert results[0] == ("kernel", "kernel")
+        assert results[1] == ("kernel", "python")  # override beats the env
+        assert results[2] == ("kernel", "kernel")
+
+    def test_env_default_with_per_call_override_in_workers(self, monkeypatch):
+        """run_experiments: env backend in the parent + an explicit
+        ``backend=`` override fanned to pool workers are byte-identical
+        to the serial reference (the override reaches the children)."""
+        from repro.analysis.experiments import run_experiments
+
+        instances = self.instances()
+        names = ("ParDeepestFirst", "MemoryBounded")
+        ref = run_experiments(instances, (2, 4), heuristics=names)
+        monkeypatch.setenv(BACKEND_ENV_VAR, "kernel")
+        env_only = run_experiments(
+            instances, (2, 4), heuristics=names, workers=2
+        )
+        overridden = run_experiments(
+            instances, (2, 4), heuristics=names, workers=2, backend="python"
+        )
+        assert env_only == ref
+        assert overridden == ref
 
     def test_registry_rejects_backend_for_non_engine_algorithms(self):
         tree = random_weighted_tree(10, np.random.default_rng(1))

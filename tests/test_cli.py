@@ -80,3 +80,82 @@ class TestCli:
 
         records = load_records(out_path)
         assert records
+
+    def test_campaign(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "campaign.jsonl")
+        argv = [
+            "campaign",
+            "--scale",
+            "tiny",
+            "--algos",
+            "ParDeepestFirst,MemoryBounded",
+            "--procs",
+            "2,4",
+            "--caps",
+            "1.5,2.0",
+            "--limit",
+            "2",
+            "--resume",
+            ckpt,
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "MemoryBounded@cap1.5" in out
+        assert "ParDeepestFirst" in out
+        blob = open(ckpt, "rb").read()
+        from repro.analysis import load_records
+
+        assert len(load_records(ckpt)) == 2 * 2 * 3  # trees x p x labels
+        # re-running the same command resumes and leaves the bytes alone
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert open(ckpt, "rb").read() == blob
+
+    def test_campaign_resume_with_separate_output(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt.jsonl")
+        out = str(tmp_path / "results.jsonl")
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--scale",
+                    "tiny",
+                    "--algos",
+                    "ParSubtrees",
+                    "--procs",
+                    "2",
+                    "--limit",
+                    "1",
+                    "--resume",
+                    ckpt,
+                    "--output",
+                    out,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        from repro.analysis import load_records
+
+        assert load_records(out) == load_records(ckpt)
+
+    def test_campaign_all_algos_and_unknown(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--scale",
+                    "tiny",
+                    "--algos",
+                    "all",
+                    "--procs",
+                    "2",
+                    "--limit",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        assert "MemoryAwareSubtrees" in capsys.readouterr().out
+        assert main(["campaign", "--scale", "tiny", "--algos", "Nope"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
