@@ -17,6 +17,14 @@ Three modes, timing schedulers on random trees:
   :class:`~repro.core.prepared.PreparedTree` shared by all scenarios).
   Both paths must produce identical schedules (asserted); the ratio is
   the amortization win of the prepared-tree refactor.
+* **``--megabatch``** -- the same grid, per-scenario prepared calls vs.
+  one :func:`~repro.core.engine.sweep_batch` megabatch kernel call
+  (OpenMP/prange-threaded across scenarios in the compiled backends;
+  ``--threads`` controls the worker count, default
+  :func:`~repro.core.engine.default_threads`). Schedules must match the
+  per-scenario path bit for bit (asserted); the ratio is the win of
+  dropping per-scenario Python/ctypes dispatch and sweeping the grid
+  GIL-free in one call.
 
 ``--smoke`` runs all modes at a small size (CI guard against bit-rot);
 ``--append`` appends the payload to an existing trajectory file instead
@@ -44,7 +52,12 @@ import time
 import numpy as np
 
 from repro import registry
-from repro.core.engine import SchedulerEngine, available_backends
+from repro.core.engine import (
+    SchedulerEngine,
+    available_backends,
+    default_threads,
+    sweep_batch,
+)
 from repro.core.prepared import PreparedTree
 from repro.core.schedule import Schedule
 from repro.core.tree import NO_PARENT
@@ -266,6 +279,71 @@ def run_grid_bench(sizes, repeats: int, seed: int, backend: str | None = None) -
 
 
 # ----------------------------------------------------------------------
+# megabatch comparison: per-scenario prepared calls vs. one kernel call
+# ----------------------------------------------------------------------
+def run_megabatch_bench(
+    sizes, repeats: int, seed: int, threads: int | None = None,
+    backend: str | None = None,
+) -> list[dict]:
+    """Time the (algorithm x p) grid per-scenario vs. one megabatch.
+
+    Both paths share one pre-built :class:`PreparedTree` (its
+    construction is the grid-bench story, not this one): the
+    per-scenario path calls ``registry.run`` once per grid cell, the
+    megabatch path stacks every cell's :class:`BatchScenario` and makes
+    a single :func:`sweep_batch` call -- one kernel invocation for the
+    whole grid, thread-parallel across scenarios in the compiled
+    backends. Schedules must match bit for bit (asserted).
+    """
+    nthreads = default_threads() if threads is None else max(1, int(threads))
+    rows = []
+    for n in sizes:
+        tree = random_weighted_tree(int(n), np.random.default_rng(seed))
+        prepared = PreparedTree(tree)
+        specs = [
+            registry.get(name).batch_spec(prepared, p, **params)
+            for p in GRID_PROCS
+            for name, params in GRID_ALGOS
+        ]
+
+        def run_single():
+            return [
+                registry.run(name, prepared, p, backend=backend, **params)
+                for p in GRID_PROCS
+                for name, params in GRID_ALGOS
+            ]
+
+        def run_batch():
+            return sweep_batch(
+                prepared, specs, backend=backend, threads=nthreads
+            ).schedules()
+
+        ref = run_single()  # warm-up (JIT/compile) + reference schedules
+        run_batch()  # warm-up the batch entry point too
+        t_single, _ = best_of(run_single, repeats)
+        t_batch, got = best_of(run_batch, repeats)
+        for a, b in zip(ref, got):
+            assert np.array_equal(a.start, b.start), "megabatch diverged"
+            assert np.array_equal(a.proc, b.proc), "megabatch diverged"
+        row = {
+            "n": int(n),
+            "grid": f"{len(GRID_ALGOS)} algorithms x {len(GRID_PROCS)} p",
+            "scenarios": len(GRID_ALGOS) * len(GRID_PROCS),
+            "threads": nthreads,
+            "per_scenario_s": round(t_single, 6),
+            "megabatch_s": round(t_batch, 6),
+            "speedup": round(t_single / t_batch, 3),
+        }
+        print(
+            f"n={row['n']:>8d} grid {row['grid']} threads={nthreads}  "
+            f"per-scenario {t_single:8.4f}s  megabatch {t_batch:8.4f}s  "
+            f"speedup {row['speedup']:5.2f}x"
+        )
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
 def best_of(fn, repeats: int) -> tuple[float, Schedule]:
     best = float("inf")
     result = None
@@ -348,6 +426,19 @@ def main(argv=None) -> int:
         "amortized through one PreparedTree",
     )
     parser.add_argument(
+        "--megabatch",
+        action="store_true",
+        help="compare the campaign grid per-scenario vs. one batched "
+        "sweep_batch kernel call",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="megabatch worker threads (default: REPRO_NUM_THREADS or "
+        "the usable core count)",
+    )
+    parser.add_argument(
         "--append",
         action="store_true",
         help="append to the output file instead of overwriting it",
@@ -361,16 +452,17 @@ def main(argv=None) -> int:
     if args.smoke:
         args.sizes = [2000]
         args.repeats = 1
+    grid_mode = (args.grid or args.megabatch) and not args.compare_backends
     payload = {
         "benchmark": "engine",
-        "algorithm": "grid" if args.grid and not args.compare_backends else "ParDeepestFirst",
+        "algorithm": "grid" if grid_mode else "ParDeepestFirst",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "repeats": args.repeats,
         "seed": args.seed,
         "smoke": bool(args.smoke),
     }
-    if args.smoke or not (args.compare_backends or args.grid):
+    if args.smoke or not (args.compare_backends or args.grid or args.megabatch):
         payload["results"] = run_bench(
             args.sizes, args.processors, args.repeats, args.seed
         )
@@ -380,6 +472,10 @@ def main(argv=None) -> int:
         )
     if args.smoke or args.grid:
         payload["grid"] = run_grid_bench(args.sizes, args.repeats, args.seed)
+    if args.smoke or args.megabatch:
+        payload["megabatch"] = run_megabatch_bench(
+            args.sizes, args.repeats, args.seed, args.threads
+        )
     write_payload(args.output, payload, args.append)
     print(f"wrote {args.output}")
     return 0

@@ -13,6 +13,12 @@ instead of once per scenario. Every algorithm in
 the algorithms that declare a ``cap_factor`` parameter, the engine
 backend to the ones that declare ``backend``.
 
+On top of the grouping, each tree's engine-backed scenarios are swept
+in **one megabatch kernel call** (:func:`repro.core.engine.sweep_batch`):
+the stacked grid crosses the Python boundary once and the compiled
+backends thread across scenarios (OpenMP / numba ``prange``), GIL-free,
+with bit-identical per-scenario results for any thread count.
+
 Execution properties, all property-tested:
 
 * **Deterministic order.** Scenarios expand p-major then
@@ -143,7 +149,12 @@ class Campaign:
 # workers: one PreparedTree per (tree, worker), reused across the slice
 # ----------------------------------------------------------------------
 def _scenario_records(
-    name: str, prepared: PreparedTree, scenarios: Sequence[Scenario], validate: bool
+    name: str,
+    prepared: PreparedTree,
+    scenarios: Sequence[Scenario],
+    validate: bool,
+    threads: int | None = None,
+    megabatch: bool = True,
 ) -> list[ScenarioRecord]:
     """Records of one scenario slice against one shared preparation.
 
@@ -151,14 +162,51 @@ def _scenario_records(
     shared across every scenario, exactly as in the paper (the bound
     does not depend on ``p``), and every run reuses the prepared rank
     permutations and typed sweep columns.
+
+    With ``megabatch`` (the default) every scenario whose algorithm
+    registers a sweep spec is swept in **one batched kernel call**
+    (thread-parallel across scenarios; see
+    :func:`repro.core.engine.sweep_batch`); the rest -- the
+    subtree-splitting family, sequential traversals -- run unbatched at
+    their position in the slice. Records (and any scenario error) are
+    emitted in slice order either way, so the stream is byte-identical
+    to the unbatched path.
     """
     mem_lb = prepared.optimal().peak_memory
+    outcomes: dict[int, Any] = {}
+    if megabatch:
+        from repro.core.engine import sweep_batch
+
+        specs = []
+        idxs: list[int] = []
+        backend: str | None = None
+        for i, sc in enumerate(scenarios):
+            params = dict(sc.params)
+            spec = registry.get(sc.algorithm).batch_spec(prepared, sc.p, **params)
+            if spec is None:
+                continue
+            b = params.get("backend")
+            if not idxs:
+                backend = b
+            elif b != backend:
+                # mixed per-scenario backends (hand-built slices only):
+                # batch the leading backend, run the rest unbatched.
+                continue
+            specs.append(spec)
+            idxs.append(i)
+        if idxs:
+            run = sweep_batch(prepared, specs, backend=backend, threads=threads)
+            outcomes = dict(zip(idxs, run.outcomes))
     records: list[ScenarioRecord] = []
-    for sc in scenarios:
-        result = simulate(
-            registry.run(sc.algorithm, prepared, sc.p, **dict(sc.params)),
-            validate=validate,
-        )
+    for i, sc in enumerate(scenarios):
+        out = outcomes.get(i)
+        if out is None:
+            schedule = registry.run(sc.algorithm, prepared, sc.p, **dict(sc.params))
+        elif isinstance(out, Exception):
+            raise out  # at its slice position, exactly as unbatched
+        else:
+            schedule = out
+        result = simulate(schedule, validate=validate)
         records.append(
             ScenarioRecord(
                 tree=name,
@@ -195,7 +243,7 @@ def _prepared_cached(key: tuple, tree: TaskTree) -> PreparedTree:
 def _campaign_slice(payload: tuple) -> list[ScenarioRecord]:
     """Pool entry point: prepare the payload's tree once, run its slice."""
     if payload[0] == "shm":
-        _, shm_name, d, scenarios, validate = payload
+        _, shm_name, d, scenarios, validate, threads, megabatch = payload
         shm = _shm_attach(shm_name)
         views = _shm_views(shm.buf, d["base"], d["n"])
         for v in views:  # the block is shared across workers: never writable
@@ -204,10 +252,10 @@ def _campaign_slice(payload: tuple) -> list[ScenarioRecord]:
         prepared = _prepared_cached((shm_name, d["base"]), tree)
         name = d["name"]
     else:
-        _, inst, scenarios, validate = payload
+        _, inst, scenarios, validate, threads, megabatch = payload
         prepared = PreparedTree(inst.tree)
         name = inst.name
-    return _scenario_records(name, prepared, scenarios, validate)
+    return _scenario_records(name, prepared, scenarios, validate, threads, megabatch)
 
 
 # ----------------------------------------------------------------------
@@ -350,6 +398,8 @@ def run_campaign(
     chunksize: int = 1,
     progress: bool = False,
     shard_nodes: int | None = None,
+    threads: int | None = None,
+    megabatch: bool = True,
 ) -> list[ScenarioRecord]:
     """Execute a campaign grid, optionally resuming a checkpoint.
 
@@ -384,6 +434,15 @@ def run_campaign(
         pays off when the per-scenario work dominates the preparation
         -- very large trees, many scenarios). Record order is
         unchanged.
+    threads:
+        worker threads of the megabatch kernel call (default:
+        ``REPRO_NUM_THREADS`` or the usable core count). Never affects
+        results. With a worker pool, each worker threads its own
+        batches, so pick ``workers * threads <= cores``.
+    megabatch:
+        sweep each tree's batchable scenarios in one thread-parallel
+        kernel call (default). ``False`` restores the per-scenario
+        loop; the record stream is byte-identical either way.
     """
     instances = list(instances)
     groups = [campaign.scenarios_for(inst.name) for inst in instances]
@@ -454,7 +513,15 @@ def run_campaign(
             desc_of = dict(zip(need, descriptors))
             try:
                 payloads = [
-                    ("shm", shm.name, desc_of[gi], tuple(chunk), campaign.validate)
+                    (
+                        "shm",
+                        shm.name,
+                        desc_of[gi],
+                        tuple(chunk),
+                        campaign.validate,
+                        threads,
+                        megabatch,
+                    )
                     for gi, chunk in units
                 ]
                 with ctx.Pool(processes=workers) as pool:
@@ -464,7 +531,14 @@ def run_campaign(
                 shm.unlink()
         else:
             payloads = [
-                ("inst", instances[gi], tuple(chunk), campaign.validate)
+                (
+                    "inst",
+                    instances[gi],
+                    tuple(chunk),
+                    campaign.validate,
+                    threads,
+                    megabatch,
+                )
                 for gi, chunk in units
             ]
             with ctx.Pool(processes=workers) as pool:
@@ -482,7 +556,12 @@ def run_campaign(
                     prepared = PreparedTree(instances[gi].tree)
                     prepared_group = gi
                 yield _scenario_records(
-                    instances[gi].name, prepared, chunk, campaign.validate
+                    instances[gi].name,
+                    prepared,
+                    chunk,
+                    campaign.validate,
+                    threads,
+                    megabatch,
                 )
 
         consume(run_serial())

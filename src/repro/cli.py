@@ -302,6 +302,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         shared_memory=args.shared_memory,
         shard_nodes=args.shard_nodes,
         progress=args.verbose,
+        threads=args.threads,
+        megabatch=not args.no_megabatch,
     )
     by_label: dict[str, list] = {}
     for r in records:
@@ -461,6 +463,20 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="shard the scenario grid of trees with at least this many nodes "
         "across the worker pool",
+    )
+    sp.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker threads of each megabatch kernel call (default: "
+        "REPRO_NUM_THREADS or the usable core count; never affects results)",
+    )
+    sp.add_argument(
+        "--no-megabatch",
+        action="store_true",
+        help="run scenarios one kernel call each instead of one batched "
+        "call per tree (byte-identical records, for comparison/debugging)",
     )
     sp.add_argument("--limit", type=int, default=0, help="number of trees (0 = all)")
     sp.set_defaults(func=_cmd_campaign)

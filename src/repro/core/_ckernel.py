@@ -5,13 +5,28 @@ into C, compiled on demand with the system toolchain (``cc``/``gcc``/
 ``clang``) into a shared library cached under the user cache directory
 (override with ``REPRO_KERNEL_CACHE``) and loaded via :mod:`ctypes`.
 Like the numba backend it is strictly optional: when no toolchain is
-available (or the one compile attempt fails) :func:`available` returns
+available (or the compile attempts fail) :func:`available` returns
 False and the engine falls back cleanly.
 
-The build is keyed by a hash of the C source, so editing the kernel
-invalidates the cache automatically and concurrent processes converge
-on the same artifact (the compile writes to a unique temporary name and
-``os.replace``-s it into place, which is atomic on POSIX).
+The build is keyed by a hash of the C source **and the compiler
+flags**, so editing the kernel invalidates the cache automatically,
+an OpenMP build can never collide with a previously cached serial
+``.so`` (the two differ only in flags), and concurrent processes
+converge on the same artifact (the compile writes to a unique temporary
+name and ``os.replace``-s it into place, which is atomic on POSIX).
+
+Besides the single-scenario ``event_sweep`` the library exports
+``batch_event_sweep``: the batched kernel spec
+(:func:`repro.core._sweep._batch_sweep`) with an OpenMP-parallel outer
+loop over scenarios. Each worker thread owns one scratch arena (heaps
+plus a private ``pending`` copy refilled per scenario), so any thread
+count produces bit-identical per-scenario results. The library is
+first built with ``-fopenmp``; when the toolchain lacks OpenMP support
+the build falls back to a serial translation of the same loop
+(``REPRO_NO_OPENMP=1`` forces the serial build, which is what the
+no-OpenMP CI leg exercises). :func:`openmp_enabled` reports which
+variant loaded; ctypes releases the GIL for the duration of the call
+either way.
 
 The C side follows the exact kernel spec of :mod:`repro.core._sweep`
 (same argument order, same status codes, same bit-for-bit equivalence
@@ -30,11 +45,25 @@ import tempfile
 import numpy as np
 from numpy.ctypeslib import ndpointer
 
-__all__ = ["available", "unavailable_reason", "kernel", "cache_dir"]
+__all__ = [
+    "available",
+    "unavailable_reason",
+    "openmp_enabled",
+    "kernel",
+    "batch_kernel",
+    "cache_dir",
+]
+
+#: environment variable forcing the serial (no ``-fopenmp``) build
+NO_OPENMP_ENV_VAR = "REPRO_NO_OPENMP"
 
 _SOURCE = r"""
 #include <stdint.h>
 #include <stdlib.h>
+#include <string.h>
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 /* array-based binary min-heaps; pop order == heapq pop order because
  * all keys are unique (ready entries are a rank permutation, running
@@ -140,7 +169,11 @@ static void pop_run(double *keys, int64_t *nodes, int64_t size,
     *out_v = top_v;
 }
 
-int64_t event_sweep(int64_t n, int64_t p,
+/* The event sweep over caller-provided scratch arenas (sized n, n, n,
+ * n and >= p respectively): the batched entry point hands every worker
+ * thread one arena reused across its scenarios, the single-scenario
+ * wrapper below mallocs a fresh one. */
+static int64_t event_sweep_core(int64_t n, int64_t p,
                     const int64_t *parent, int64_t *pending,
                     const double *w,
                     const int64_t *rank, const int64_t *byrank,
@@ -149,21 +182,13 @@ int64_t event_sweep(int64_t n, int64_t p,
                     const int64_t *sigma,
                     double *start, double *end_out, int64_t *proc,
                     int64_t *activation, double *mem_trace,
-                    int64_t *status, double *finals)
+                    int64_t *status, double *finals,
+                    int64_t *ready, double *run_key, int64_t *run_node,
+                    int64_t *skipped, int64_t *free_stack)
 {
-    int64_t *ready = malloc((size_t)n * sizeof(int64_t));
-    double *run_key = malloc((size_t)n * sizeof(double));
-    int64_t *run_node = malloc((size_t)n * sizeof(int64_t));
-    int64_t *skipped = malloc((size_t)n * sizeof(int64_t));
-    int64_t *free_stack = malloc((size_t)p * sizeof(int64_t));
     int64_t free_count, ready_size, run_size, started, next_sigma, i, q;
     double now, mem;
 
-    if (!ready || !run_key || !run_node || !skipped || !free_stack) {
-        status[0] = 4; /* allocation failure */
-        status[1] = -1;
-        goto done;
-    }
     for (q = 0; q < p; q++)
         free_stack[q] = p - 1 - q; /* pop from the tail => proc 0 first */
     free_count = p;
@@ -193,7 +218,7 @@ int64_t event_sweep(int64_t n, int64_t p,
                 if (r != rank[node]) {
                     status[0] = 2;
                     status[1] = node;
-                    goto done;
+                    return status[0];
                 }
             } else {
                 int64_t nskip = 0, k;
@@ -235,11 +260,11 @@ int64_t event_sweep(int64_t n, int64_t p,
                 status[1] = sigma[next_sigma];
                 finals[0] = now;
                 finals[1] = mem;
-                goto done;
+                return status[0];
             }
             status[0] = 3; /* deadlock (defensive) */
             status[1] = -1;
-            goto done;
+            return status[0];
         }
         /* advance to the next completion event; apply every completion
          * at that instant before assigning again */
@@ -274,7 +299,36 @@ int64_t event_sweep(int64_t n, int64_t p,
     status[1] = n;
     finals[0] = now;
     finals[1] = mem;
-done:
+    return status[0];
+}
+
+int64_t event_sweep(int64_t n, int64_t p,
+                    const int64_t *parent, int64_t *pending,
+                    const double *w,
+                    const int64_t *rank, const int64_t *byrank,
+                    int64_t mode, double cap_eps,
+                    const double *alloc, const double *free_on_end,
+                    const int64_t *sigma,
+                    double *start, double *end_out, int64_t *proc,
+                    int64_t *activation, double *mem_trace,
+                    int64_t *status, double *finals)
+{
+    int64_t *ready = malloc((size_t)n * sizeof(int64_t));
+    double *run_key = malloc((size_t)n * sizeof(double));
+    int64_t *run_node = malloc((size_t)n * sizeof(int64_t));
+    int64_t *skipped = malloc((size_t)n * sizeof(int64_t));
+    int64_t *free_stack = malloc((size_t)p * sizeof(int64_t));
+
+    if (!ready || !run_key || !run_node || !skipped || !free_stack) {
+        status[0] = 4; /* allocation failure */
+        status[1] = -1;
+    } else {
+        event_sweep_core(n, p, parent, pending, w, rank, byrank,
+                         mode, cap_eps, alloc, free_on_end, sigma,
+                         start, end_out, proc, activation, mem_trace,
+                         status, finals,
+                         ready, run_key, run_node, skipped, free_stack);
+    }
     free(ready);
     free(run_key);
     free(run_node);
@@ -282,12 +336,130 @@ done:
     free(free_stack);
     return status[0];
 }
+
+int64_t openmp_compiled(void)
+{
+#ifdef _OPENMP
+    return 1;
+#else
+    return 0;
+#endif
+}
+
+/* One worker's share of a batched sweep: scenarios [lo, hi) with
+ * stride, over one private scratch arena (heaps sized n, a
+ * free-processor stack sized max_p, and a pending copy refilled from
+ * the read-only pending0 per scenario). Scenarios never share mutable
+ * state, so results are bit-identical for any thread count. */
+static int64_t batch_chunk(int64_t n, int64_t max_p,
+                    int64_t lo, int64_t hi, int64_t stride,
+                    const int64_t *parent, const int64_t *pending0,
+                    const double *w,
+                    const int64_t *ranks, const int64_t *byranks,
+                    const int64_t *rank_id,
+                    const int64_t *ps, const int64_t *modes,
+                    const double *cap_eps,
+                    const double *alloc, const double *free_on_end,
+                    const int64_t *sigmas, const int64_t *sigma_id,
+                    double *start, double *end_out, int64_t *proc,
+                    int64_t *activation, double *mem_trace,
+                    int64_t *status, double *finals)
+{
+    int64_t *pending = malloc((size_t)n * sizeof(int64_t));
+    int64_t *ready = malloc((size_t)n * sizeof(int64_t));
+    double *run_key = malloc((size_t)n * sizeof(double));
+    int64_t *run_node = malloc((size_t)n * sizeof(int64_t));
+    int64_t *skipped = malloc((size_t)n * sizeof(int64_t));
+    int64_t *free_stack = malloc((size_t)max_p * sizeof(int64_t));
+    int64_t ok = pending && ready && run_key && run_node &&
+                 skipped && free_stack;
+    int64_t failed = 0;
+    int64_t s;
+    for (s = lo; s < hi; s += stride) {
+        if (!ok) {
+            status[2 * s] = 4; /* allocation failure */
+            status[2 * s + 1] = -1;
+            failed = 1;
+            continue;
+        }
+        memcpy(pending, pending0, (size_t)n * sizeof(int64_t));
+        event_sweep_core(n, ps[s], parent, pending, w,
+                         ranks + rank_id[s] * n,
+                         byranks + rank_id[s] * n,
+                         modes[s], cap_eps[s], alloc, free_on_end,
+                         sigma_id[s] >= 0 ? sigmas + sigma_id[s] * n
+                                          : sigmas,
+                         start + s * n, end_out + s * n, proc + s * n,
+                         activation + s * n, mem_trace + s * n,
+                         status + 2 * s, finals + 2 * s,
+                         ready, run_key, run_node, skipped, free_stack);
+    }
+    free(pending);
+    free(ready);
+    free(run_key);
+    free(run_node);
+    free(skipped);
+    free(free_stack);
+    return failed;
+}
+
+/* The batched kernel spec (see repro.core._sweep._batch_sweep): one
+ * call sweeps every scenario of a grid against the same tree, the
+ * outer loop threaded with OpenMP when compiled in.  Scenario s reads
+ * rank row rank_id[s] of the (R x n) ranks/byranks stacks and (when
+ * capped, sigma_id[s] >= 0) sigma row sigma_id[s] of the (K x n)
+ * sigmas stack, and writes row s of the (S x n) output stacks.
+ *
+ * threads <= 1 never touches the OpenMP runtime at all -- libgomp is
+ * not fork-safe, so a forked worker process (the campaign pool) must
+ * be able to batch serially without entering a parallel region. */
+int64_t batch_event_sweep(int64_t n, int64_t nscen, int64_t max_p,
+                    int64_t threads,
+                    const int64_t *parent, const int64_t *pending0,
+                    const double *w,
+                    const int64_t *ranks, const int64_t *byranks,
+                    const int64_t *rank_id,
+                    const int64_t *ps, const int64_t *modes,
+                    const double *cap_eps,
+                    const double *alloc, const double *free_on_end,
+                    const int64_t *sigmas, const int64_t *sigma_id,
+                    double *start, double *end_out, int64_t *proc,
+                    int64_t *activation, double *mem_trace,
+                    int64_t *status, double *finals)
+{
+    int64_t failed = 0;
+#ifdef _OPENMP
+    if (threads > 1) {
+#pragma omp parallel num_threads((int)threads) reduction(|:failed)
+        {
+            /* round-robin chunking: one arena per worker thread */
+            failed |= batch_chunk(n, max_p,
+                                  (int64_t)omp_get_thread_num(), nscen,
+                                  (int64_t)omp_get_num_threads(),
+                                  parent, pending0, w, ranks, byranks,
+                                  rank_id, ps, modes, cap_eps, alloc,
+                                  free_on_end, sigmas, sigma_id,
+                                  start, end_out, proc, activation,
+                                  mem_trace, status, finals);
+        }
+        return failed;
+    }
+#endif
+    (void)threads;
+    return batch_chunk(n, max_p, 0, nscen, 1,
+                       parent, pending0, w, ranks, byranks, rank_id,
+                       ps, modes, cap_eps, alloc, free_on_end,
+                       sigmas, sigma_id, start, end_out, proc,
+                       activation, mem_trace, status, finals);
+}
 """
 
 _F64 = ndpointer(dtype=np.float64, flags=("C_CONTIGUOUS",))
 _I64 = ndpointer(dtype=np.int64, flags=("C_CONTIGUOUS",))
 
-#: tri-state build cache: None = not attempted, else (fn-or-None, reason)
+#: build cache: None = not attempted, else a tuple whose first two
+#: entries are (single-scenario fn or None, reason); successful builds
+#: append (batch fn, openmp flag). Tests may monkeypatch a 2-tuple.
 _BUILD: tuple | None = None
 
 
@@ -302,40 +474,87 @@ def cache_dir() -> str:
     return os.path.join(xdg, "repro-trees")
 
 
+def _build_flags() -> list[list[str]]:
+    """Compiler flag sets to attempt, in order of preference.
+
+    The OpenMP build comes first (the batched kernel threads across
+    scenarios); a toolchain without OpenMP support falls back to the
+    serial flag set. ``REPRO_NO_OPENMP=1`` skips the OpenMP attempt
+    entirely (the no-OpenMP CI leg, proving the serial C path).
+    """
+    base = ["-O3", "-shared", "-fPIC"]
+    if os.environ.get(NO_OPENMP_ENV_VAR):
+        return [base]
+    return [base + ["-fopenmp"], base]
+
+
+def _cache_key(flags: list[str]) -> str:
+    """Cache key of one build: kernel source *and* compiler flags, so a
+    serial build can never shadow (or be shadowed by) an OpenMP build
+    of the same source."""
+    payload = _SOURCE + "\n// flags: " + " ".join(flags)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _compile_one(cc: str, flags: list[str], lib_path: str) -> str:
+    """Build ``lib_path`` with one flag set; returns an error string
+    (empty on success). The artifact lands atomically, so concurrent
+    builders converge."""
+    directory = os.path.dirname(lib_path)
+    tmp_lib = None
+    try:
+        os.makedirs(directory, exist_ok=True)
+        src_path = os.path.join(
+            directory, os.path.basename(lib_path).replace(".so", ".c")
+        )
+        with open(src_path, "w") as fh:
+            fh.write(_SOURCE)
+        fd, tmp_lib = tempfile.mkstemp(suffix=".so", dir=directory)
+        os.close(fd)
+        cmd = [cc, *flags, "-o", tmp_lib, src_path]
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+        if proc.returncode != 0:
+            detail = (proc.stderr or proc.stdout).strip().splitlines()
+            return f"{cc} failed: {detail[-1] if detail else 'unknown error'}"
+        os.replace(tmp_lib, lib_path)  # atomic: racers converge
+        tmp_lib = None
+        return ""
+    except (OSError, subprocess.SubprocessError) as exc:
+        # a hung or broken toolchain must degrade to "unavailable",
+        # never crash engine construction out of backend="auto"
+        return f"kernel build failed: {exc}"
+    finally:
+        if tmp_lib is not None:
+            try:
+                os.unlink(tmp_lib)
+            except OSError:
+                pass
+
+
 def _compile() -> tuple:
-    """Build (or reuse) the shared library; returns ``(fn, reason)``."""
+    """Build (or reuse) the shared library.
+
+    Returns ``(fn, reason, batch_fn, openmp)`` on success and
+    ``(None, reason)`` on failure.
+    """
     cc = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
     if cc is None:
         return None, "no C compiler (cc/gcc/clang) on PATH"
-    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
-    directory = cache_dir()
-    lib_path = os.path.join(directory, f"event_sweep_{digest}.so")
-    if not os.path.exists(lib_path):
-        tmp_lib = None
-        try:
-            os.makedirs(directory, exist_ok=True)
-            src_path = os.path.join(directory, f"event_sweep_{digest}.c")
-            with open(src_path, "w") as fh:
-                fh.write(_SOURCE)
-            fd, tmp_lib = tempfile.mkstemp(suffix=".so", dir=directory)
-            os.close(fd)
-            cmd = [cc, "-O3", "-shared", "-fPIC", "-o", tmp_lib, src_path]
-            proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
-            if proc.returncode != 0:
-                detail = (proc.stderr or proc.stdout).strip().splitlines()
-                return None, f"{cc} failed: {detail[-1] if detail else 'unknown error'}"
-            os.replace(tmp_lib, lib_path)  # atomic: racers converge
-            tmp_lib = None
-        except (OSError, subprocess.SubprocessError) as exc:
-            # a hung or broken toolchain must degrade to "unavailable",
-            # never crash engine construction out of backend="auto"
-            return None, f"kernel build failed: {exc}"
-        finally:
-            if tmp_lib is not None:
-                try:
-                    os.unlink(tmp_lib)
-                except OSError:
-                    pass
+    error = ""
+    lib_path = None
+    for flags in _build_flags():
+        candidate = os.path.join(
+            cache_dir(), f"event_sweep_{_cache_key(flags)}.so"
+        )
+        if os.path.exists(candidate):
+            lib_path = candidate
+            break
+        error = _compile_one(cc, flags, candidate)
+        if not error:
+            lib_path = candidate
+            break
+    if lib_path is None:
+        return None, error or "kernel build failed"
     try:
         lib = ctypes.CDLL(lib_path)
     except OSError as exc:  # pragma: no cover - corrupt cache entry
@@ -363,7 +582,38 @@ def _compile() -> tuple:
         _I64,  # status
         _F64,  # finals
     ]
-    return fn, ""
+    batch = lib.batch_event_sweep
+    batch.restype = ctypes.c_int64
+    batch.argtypes = [
+        ctypes.c_int64,  # n
+        ctypes.c_int64,  # nscen
+        ctypes.c_int64,  # max_p
+        ctypes.c_int64,  # threads
+        _I64,  # parent
+        _I64,  # pending0 (read-only; copied per scenario in C)
+        _F64,  # w
+        _I64,  # ranks (R x n)
+        _I64,  # byranks (R x n)
+        _I64,  # rank_id (S)
+        _I64,  # ps (S)
+        _I64,  # modes (S)
+        _F64,  # cap_eps (S)
+        _F64,  # alloc
+        _F64,  # free_on_end
+        _I64,  # sigmas (K x n)
+        _I64,  # sigma_id (S)
+        _F64,  # start (S x n)
+        _F64,  # end_out (S x n)
+        _I64,  # proc (S x n)
+        _I64,  # activation (S x n)
+        _F64,  # mem_trace (S x n)
+        _I64,  # status (S x 2)
+        _F64,  # finals (S x 2)
+    ]
+    probe = lib.openmp_compiled
+    probe.restype = ctypes.c_int64
+    probe.argtypes = []
+    return fn, "", batch, bool(probe())
 
 
 def _ensure_built() -> tuple:
@@ -381,6 +631,14 @@ def available() -> bool:
 def unavailable_reason() -> str:
     """Why :func:`available` is False (empty string when available)."""
     return _ensure_built()[1]
+
+
+def openmp_enabled() -> bool:
+    """True when the loaded library was compiled with OpenMP (the
+    batched kernel then threads across scenarios; results are
+    bit-identical either way)."""
+    build = _ensure_built()
+    return len(build) > 3 and bool(build[3])
 
 
 def kernel(
@@ -404,9 +662,10 @@ def kernel(
     finals,
 ):
     """Invoke the C kernel with the spec's argument order (see _sweep)."""
-    fn, reason = _ensure_built()
+    build = _ensure_built()
+    fn = build[0]
     if fn is None:  # pragma: no cover - callers check available() first
-        raise RuntimeError(f"C kernel unavailable: {reason}")
+        raise RuntimeError(f"C kernel unavailable: {build[1]}")
     fn(
         parent.shape[0],
         p,
@@ -420,6 +679,68 @@ def kernel(
         alloc,
         free_on_end,
         sigma,
+        start,
+        end_out,
+        proc,
+        activation,
+        mem_trace,
+        status,
+        finals,
+    )
+
+
+def batch_kernel(
+    parent,
+    pending0,
+    w,
+    ranks,
+    byranks,
+    rank_id,
+    ps,
+    modes,
+    cap_eps,
+    alloc,
+    free_on_end,
+    sigmas,
+    sigma_id,
+    start,
+    end_out,
+    proc,
+    activation,
+    mem_trace,
+    status,
+    finals,
+    threads=1,
+):
+    """Invoke the batched C kernel (argument order of
+    :func:`repro.core._sweep._batch_sweep`, plus ``threads``).
+
+    ``threads`` is the OpenMP team size (ignored by a serial build).
+    ctypes releases the GIL for the duration, so the whole grid sweeps
+    without re-entering Python.
+    """
+    build = _ensure_built()
+    batch = build[2] if len(build) > 2 else None
+    if batch is None:  # pragma: no cover - callers check available() first
+        raise RuntimeError(f"C kernel unavailable: {build[1]}")
+    batch(
+        parent.shape[0],
+        ps.shape[0],
+        int(ps.max()) if ps.shape[0] else 1,
+        max(1, int(threads)),
+        parent,
+        pending0,
+        w,
+        ranks,
+        byranks,
+        rank_id,
+        ps,
+        modes,
+        cap_eps,
+        alloc,
+        free_on_end,
+        sigmas,
+        sigma_id,
         start,
         end_out,
         proc,

@@ -77,6 +77,23 @@ Heap pop order is determined by the key order alone -- ready entries
 are bare ranks (a permutation, hence unique) and running entries carry
 the node id as tie-break -- so an array-based binary heap reproduces
 ``heapq`` exactly without mimicking its internals.
+
+Batched spec
+------------
+:func:`_batch_sweep` extends the kernel spec to a whole scenario grid
+over **one tree** in a single call: stacked per-scenario parameters in
+(``ps``/``modes``/``cap_eps`` per scenario, priority ranks and
+activation orders deduplicated into ``(R, n)`` / ``(K, n)`` stacks and
+referenced by ``rank_id`` / ``sigma_id``; ``sigma_id < 0`` means
+uncapped), stacked ``(S, n)`` result arrays out. Every scenario is an
+independent sweep against the same read-only tree columns -- the only
+mutable input, ``pending``, is copied per scenario from the pristine
+``pending0`` -- so the outer loop parallelises trivially:
+``numba.prange`` here, an OpenMP ``parallel for`` in the C translation
+(:mod:`repro.core._ckernel`), and a plain serial loop when interpreted.
+Per-scenario outputs are bit-identical to single calls of
+:func:`_event_sweep` regardless of thread count because no data is
+shared between scenarios.
 """
 
 from __future__ import annotations
@@ -85,14 +102,24 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["HAVE_NUMBA", "PY_KERNEL", "JIT_KERNEL", "SweepResult", "sweep_arrays"]
+__all__ = [
+    "HAVE_NUMBA",
+    "PY_KERNEL",
+    "JIT_KERNEL",
+    "PY_BATCH",
+    "JIT_BATCH",
+    "SweepResult",
+    "sweep_arrays",
+    "batch_arrays",
+]
 
 try:  # numba is an optional dependency (``pip install repro-trees[fast]``)
-    from numba import njit
+    from numba import njit, prange
 
     HAVE_NUMBA = True
 except ImportError:  # pragma: no cover - exercised on the without-numba CI leg
     HAVE_NUMBA = False
+    prange = range
 
     def njit(*args, **kwargs):  # type: ignore[misc]
         """No-op decorator standing in for ``numba.njit``."""
@@ -129,6 +156,21 @@ def sweep_arrays(n: int) -> tuple[np.ndarray, ...]:
         np.empty(n, dtype=np.float64),
         np.zeros(2, dtype=np.int64),
         np.zeros(2, dtype=np.float64),
+    )
+
+
+def batch_arrays(nscen: int, n: int) -> tuple[np.ndarray, ...]:
+    """Freshly initialised stacked output arrays for one batched kernel
+    invocation over ``nscen`` scenarios: the ``(S, n)`` counterparts of
+    :func:`sweep_arrays` (row ``s`` is scenario ``s``'s output)."""
+    return (
+        np.full((nscen, n), -1.0, dtype=np.float64),
+        np.empty((nscen, n), dtype=np.float64),
+        np.full((nscen, n), -1, dtype=np.int64),
+        np.empty((nscen, n), dtype=np.int64),
+        np.empty((nscen, n), dtype=np.float64),
+        np.zeros((nscen, 2), dtype=np.int64),
+        np.zeros((nscen, 2), dtype=np.float64),
     )
 
 
@@ -358,18 +400,90 @@ def _event_sweep(
     finals[1] = mem
 
 
+# ----------------------------------------------------------------------
+# the batched sweep: one call per scenario grid, parallel over scenarios
+# ----------------------------------------------------------------------
+def _batch_sweep(
+    parent,
+    pending0,
+    w,
+    ranks,
+    byranks,
+    rank_id,
+    ps,
+    modes,
+    cap_eps,
+    alloc,
+    free_on_end,
+    sigmas,
+    sigma_id,
+    start,
+    end_out,
+    proc,
+    activation,
+    mem_trace,
+    status,
+    finals,
+):
+    """Sweep every scenario of a grid against one tree (batched spec).
+
+    Scenario ``s`` runs :func:`_event_sweep` with priority rank row
+    ``ranks[rank_id[s]]`` (inverse ``byranks[rank_id[s]]``), processor
+    count ``ps[s]``, memory mode ``modes[s]`` / ``cap_eps[s]`` and
+    activation order ``sigmas[sigma_id[s]]`` (``sigma_id[s] < 0`` =
+    uncapped; ``sigmas`` always holds at least one row so the dummy
+    empty slice types consistently). ``pending0`` is the pristine child
+    counts, copied privately per scenario, so scenarios are fully
+    independent and the loop is safe under ``numba.prange``.
+    """
+    nscen = ps.shape[0]
+    for s in prange(nscen):
+        pending = pending0.copy()
+        rid = rank_id[s]
+        sid = sigma_id[s]
+        if sid >= 0:
+            sigma = sigmas[sid]
+        else:
+            sigma = sigmas[0][:0]
+        _event_sweep(
+            parent,
+            pending,
+            w,
+            ranks[rid],
+            byranks[rid],
+            ps[s],
+            modes[s],
+            cap_eps[s],
+            alloc,
+            free_on_end,
+            sigma,
+            start[s],
+            end_out[s],
+            proc[s],
+            activation[s],
+            mem_trace[s],
+            status[s],
+            finals[s],
+        )
+
+
 if HAVE_NUMBA:
     _push_int = njit(cache=True)(_push_int)
     _pop_int = njit(cache=True)(_pop_int)
     _push_run = njit(cache=True)(_push_run)
     _pop_run = njit(cache=True)(_pop_run)
     _event_sweep = njit(cache=True)(_event_sweep)
-    #: the compiled kernel (None when numba is absent)
+    _batch_sweep = njit(cache=True, parallel=True)(_batch_sweep)
+    #: the compiled kernels (None when numba is absent)
     JIT_KERNEL = _event_sweep
+    JIT_BATCH = _batch_sweep
     # ``py_func`` keeps the interpreted spec callable for the "kernel"
     # backend even when numba is installed (it calls the jitted heap
     # helpers through their dispatchers, which is fine from CPython).
     PY_KERNEL = _event_sweep.py_func
+    PY_BATCH = _batch_sweep.py_func
 else:
     JIT_KERNEL = None
+    JIT_BATCH = None
     PY_KERNEL = _event_sweep
+    PY_BATCH = _batch_sweep

@@ -49,7 +49,7 @@ from typing import Callable
 import numpy as np
 
 from . import _sweep
-from ._sweep import SweepResult, sweep_arrays
+from ._sweep import SweepResult, batch_arrays, sweep_arrays
 from .prepared import PreparedTree, as_prepared
 from .schedule import Schedule
 from .tree import TaskTree, NO_PARENT
@@ -57,20 +57,72 @@ from .tree import TaskTree, NO_PARENT
 __all__ = [
     "BACKENDS",
     "BackendUnavailableError",
+    "BatchRun",
+    "BatchScenario",
     "EngineState",
     "MemoryCapError",
     "SchedulerEngine",
     "available_backends",
+    "default_threads",
     "lex_rank",
     "rank_from_callable",
     "resolve_backend",
+    "sweep_batch",
 ]
 
 #: environment variable overriding the default backend selection
 BACKEND_ENV_VAR = "REPRO_ENGINE_BACKEND"
 
+#: environment variable overriding the default batch-sweep thread count
+THREADS_ENV_VAR = "REPRO_NUM_THREADS"
+
 #: accepted values for ``SchedulerEngine(backend=...)``
 BACKENDS = ("auto", "python", "numba", "c", "kernel")
+
+
+# Thread-pool runtimes (libgomp, numba's threading layer) are not
+# fork-safe: a process that entered a parallel region and then forks
+# (the campaign worker pool) must not re-enter one in the child. The
+# pair of flags below tracks exactly that; children of a
+# parallel-tainted parent batch through the bit-identical per-scenario
+# kernel loop instead (see sweep_batch).
+_PARALLEL_USED = False
+_FORK_UNSAFE = False
+
+
+def _note_parallel_used() -> None:
+    global _PARALLEL_USED
+    _PARALLEL_USED = True
+
+
+def _after_fork_in_child() -> None:  # pragma: no cover - exercised via pools
+    global _FORK_UNSAFE
+    if _PARALLEL_USED:
+        _FORK_UNSAFE = True
+
+
+if hasattr(os, "register_at_fork"):  # POSIX
+    os.register_at_fork(after_in_child=_after_fork_in_child)
+
+
+def default_threads() -> int:
+    """Worker-thread count for batched sweeps.
+
+    Reads ``REPRO_NUM_THREADS`` when set, else the usable core count
+    (CPU affinity aware). Thread count never affects results -- each
+    scenario sweeps independently over private scratch -- so this is a
+    pure throughput knob.
+    """
+    env = os.environ.get(THREADS_ENV_VAR, "")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
 
 
 class MemoryCapError(RuntimeError):
@@ -345,51 +397,24 @@ class SchedulerEngine:
         return self._run_python()
 
     # ------------------------------------------------------------------
-    def _run_kernel(self) -> Schedule:
-        """Dispatch the sweep to the selected kernel-spec backend."""
-        tree = self.tree
-        n = tree.n
-        parent = tree.parent
-        # Run-invariant typed columns come from the prepared bundle; the
-        # kernels mutate ``pending``, so they get the reusable scratch
-        # buffer (refilled from the pristine counts, no allocation).
-        pending = self.prepared.pending_scratch()
-        w = tree.w
+    def _mode_args(self) -> tuple[bool, int, float]:
+        """``(capped, mode code, cap_eps)`` for the kernel spec."""
         capped = self.cap is not None
         mode = 0 if not capped else (1 if self.mode == "strict" else 2)
         cap_eps = (self.cap + 1e-9) if capped else 0.0
-        alloc = self.prepared.alloc
-        free_on_end = self.prepared.free_on_end
-        sigma = self.order if capped else np.empty(0, dtype=np.int64)
-        start, end, proc, activation, mem_trace, status, finals = sweep_arrays(n)
-        args = (
-            parent,
-            pending,
-            w,
-            self.rank,
-            self._byrank,
-            self.p,
-            mode,
-            cap_eps,
-            alloc,
-            free_on_end,
-            sigma,
-            start,
-            end,
-            proc,
-            activation,
-            mem_trace,
-            status,
-            finals,
-        )
-        if self.backend == "numba":
-            _sweep.JIT_KERNEL(*args)
-        elif self.backend == "c":
-            from . import _ckernel
+        return capped, mode, cap_eps
 
-            _ckernel.kernel(*args)
-        else:  # "kernel": the interpreted spec
-            _sweep.PY_KERNEL(*args)
+    def _finish_kernel(
+        self, start, end, proc, activation, mem_trace, status, finals
+    ) -> Schedule:
+        """Interpret one kernel-spec result row: raise the exact error
+        the reference loop would, or record the sweep and return the
+        schedule. Shared by the single-scenario and batched paths, so
+        both produce byte-identical outcomes *and* messages."""
+        tree = self.tree
+        n = tree.n
+        capped = self.cap is not None
+        alloc = self.prepared.alloc
         code = int(status[0])
         if code == 1:
             node = int(status[1])
@@ -426,6 +451,53 @@ class SchedulerEngine:
             next_sigma=n if capped else 0,
         )
         return Schedule(tree, start, proc, self.p)
+
+    def _run_kernel(self) -> Schedule:
+        """Dispatch the sweep to the selected kernel-spec backend."""
+        tree = self.tree
+        n = tree.n
+        parent = tree.parent
+        # Run-invariant typed columns come from the prepared bundle; the
+        # kernels mutate ``pending``, so they get the reusable scratch
+        # buffer (refilled from the pristine counts, no allocation).
+        pending = self.prepared.pending_scratch()
+        w = tree.w
+        capped, mode, cap_eps = self._mode_args()
+        alloc = self.prepared.alloc
+        free_on_end = self.prepared.free_on_end
+        sigma = self.order if capped else np.empty(0, dtype=np.int64)
+        start, end, proc, activation, mem_trace, status, finals = sweep_arrays(n)
+        args = (
+            parent,
+            pending,
+            w,
+            self.rank,
+            self._byrank,
+            self.p,
+            mode,
+            cap_eps,
+            alloc,
+            free_on_end,
+            sigma,
+            start,
+            end,
+            proc,
+            activation,
+            mem_trace,
+            status,
+            finals,
+        )
+        if self.backend == "numba":
+            _sweep.JIT_KERNEL(*args)
+        elif self.backend == "c":
+            from . import _ckernel
+
+            _ckernel.kernel(*args)
+        else:  # "kernel": the interpreted spec
+            _sweep.PY_KERNEL(*args)
+        return self._finish_kernel(
+            start, end, proc, activation, mem_trace, status, finals
+        )
 
     # ------------------------------------------------------------------
     def _run_python(self) -> Schedule:
@@ -584,3 +656,278 @@ class SchedulerEngine:
             mem=float(mem),
         )
         return Schedule(tree, self.sweep.start, self.sweep.proc, self.p)
+
+
+# ----------------------------------------------------------------------
+# Megabatch sweeps: one kernel call per (algorithm x p x cap) grid.
+
+
+@dataclass(frozen=True)
+class BatchScenario:
+    """One scenario of a megabatch grid against a shared tree.
+
+    The fields mirror the :class:`SchedulerEngine` constructor minus the
+    tree: a priority ``rank`` permutation, the processor count ``p``,
+    and the optional memory configuration (``cap``, activation
+    ``order``, ``mode``). Registered heuristics expose a
+    ``batch_spec`` builder (see :mod:`repro.registry`) so campaign grids
+    never have to assemble these by hand.
+    """
+
+    rank: np.ndarray
+    p: int
+    cap: float | None = None
+    order: np.ndarray | None = None
+    mode: str = "strict"
+
+
+@dataclass
+class BatchRun:
+    """Result of :func:`sweep_batch`.
+
+    ``outcomes[i]`` is scenario *i*'s :class:`~repro.core.schedule.Schedule`
+    or the exception its unbatched run would have raised (stored, not
+    raised, so one infeasible cap cannot discard a whole grid);
+    ``engines[i]`` is the fully-run engine (``.sweep``, ``.state``,
+    ``.backend_used`` populated exactly as after ``run()``).
+    """
+
+    engines: list[SchedulerEngine]
+    outcomes: list[Schedule | Exception]
+    backend: str
+    threads: int
+
+    def schedules(self) -> list[Schedule]:
+        """All schedules; re-raises the first stored scenario error."""
+        for out in self.outcomes:
+            if isinstance(out, Exception):
+                raise out
+        return list(self.outcomes)
+
+
+def _batch_via_single(
+    resolved: str, kernel_idx: list[int], engines, prepared, args
+) -> None:
+    """Sweep the stacked batch through the single-scenario kernel.
+
+    The fork-safe fallback of :func:`sweep_batch`: same stacked inputs,
+    same output rows, one kernel call per scenario -- no thread runtime
+    touched, results bit-identical to the batched call.
+    """
+    (
+        parent,
+        pending0,
+        w,
+        ranks,
+        byranks,
+        rank_id,
+        ps,
+        modes,
+        cap_eps,
+        alloc,
+        free_on_end,
+        sigmas,
+        sigma_id,
+        start,
+        end,
+        proc,
+        activation,
+        mem_trace,
+        status,
+        finals,
+    ) = args
+    if resolved == "c":
+        from . import _ckernel
+
+        fn = _ckernel.kernel
+    else:
+        fn = _sweep.JIT_KERNEL
+    empty = sigmas[0][:0]
+    for j in range(ps.shape[0]):
+        pending = prepared.pending_scratch()
+        sid = int(sigma_id[j])
+        rid = int(rank_id[j])
+        fn(
+            parent,
+            pending,
+            w,
+            ranks[rid],
+            byranks[rid],
+            int(ps[j]),
+            int(modes[j]),
+            float(cap_eps[j]),
+            alloc,
+            free_on_end,
+            sigmas[sid] if sid >= 0 else empty,
+            start[j],
+            end[j],
+            proc[j],
+            activation[j],
+            mem_trace[j],
+            status[j],
+            finals[j],
+        )
+
+
+def sweep_batch(
+    tree: TaskTree | PreparedTree,
+    scenarios: list[BatchScenario],
+    *,
+    backend: str | None = None,
+    threads: int | None = None,
+) -> BatchRun:
+    """Sweep a whole scenario grid against one tree in one kernel call.
+
+    Stacks the per-scenario parameters (p, memory mode, rank ids, sigma
+    ids) and dispatches a single batched kernel call -- OpenMP-threaded
+    across scenarios in the C backend, ``numba.prange`` in the numba
+    backend, a plain loop over the single-scenario sweep in the
+    python/interpreted backends. Per-scenario results are
+    **bit-identical** to running each scenario through
+    :class:`SchedulerEngine` individually, for every backend and any
+    thread count: scenarios share only read-only columns and each sweeps
+    over private scratch.
+
+    Scenarios the kernel contract excludes -- ``backend="python"``, or
+    integral weights >= 2**53 where float64 event keys lose exactness --
+    fall back to the reference loop *per scenario*; the rest of the grid
+    still goes through the compiled megabatch.
+
+    ``threads`` defaults to :func:`default_threads` (``REPRO_NUM_THREADS``
+    or the usable core count).
+    """
+    prepared = as_prepared(tree)
+    nthreads = default_threads() if threads is None else max(1, int(threads))
+    engines = [
+        SchedulerEngine(
+            prepared,
+            sc.p,
+            sc.rank,
+            cap=sc.cap,
+            order=sc.order,
+            mode=sc.mode,
+            backend=backend,
+        )
+        for sc in scenarios
+    ]
+    resolved = engines[0].backend if engines else resolve_backend(backend)
+    outcomes: list[Schedule | Exception] = [None] * len(engines)  # type: ignore[list-item]
+    kernel_idx: list[int] = []
+    for i, e in enumerate(engines):
+        if e.backend != "python" and e._kernel_exact:
+            kernel_idx.append(i)
+        else:
+            # per-scenario exactness/backend fallback: run() takes the
+            # reference loop for exactly these scenarios, as unbatched.
+            try:
+                outcomes[i] = e.run()
+            except (MemoryCapError, ValueError, MemoryError) as exc:
+                outcomes[i] = exc
+    if kernel_idx:
+        n = prepared.tree.n
+        nscen = len(kernel_idx)
+        # Deduplicate rank stacks by array identity: scenarios of one
+        # grid typically share a handful of rank permutations (cached on
+        # the prepared bundle), so the stacks stay small. ``byrank`` is
+        # paired through the same id-keyed cache, keeping rows aligned.
+        from .prepared import stack_unique
+
+        rank_rows: list[np.ndarray] = []
+        byrank_rows: list[np.ndarray] = []
+        rank_map: dict[int, int] = {}
+        rank_id = np.empty(nscen, dtype=np.int64)
+        ps = np.empty(nscen, dtype=np.int64)
+        modes = np.empty(nscen, dtype=np.int64)
+        cap_eps = np.empty(nscen, dtype=np.float64)
+        for j, i in enumerate(kernel_idx):
+            e = engines[i]
+            rid = rank_map.get(id(e.rank))
+            if rid is None:
+                rid = len(rank_rows)
+                rank_map[id(e.rank)] = rid
+                rank_rows.append(e.rank)
+                byrank_rows.append(e._byrank)
+            rank_id[j] = rid
+            _, mode, eps = e._mode_args()
+            ps[j] = e.p
+            modes[j] = mode
+            cap_eps[j] = eps
+        ranks = np.ascontiguousarray(np.stack(rank_rows))
+        byranks = np.ascontiguousarray(np.stack(byrank_rows))
+        # e.order is None exactly for uncapped scenarios, so stack_unique
+        # assigns them the -1 sentinel (the kernels never read their
+        # sigma) and deduplicates the shared activation orders.
+        sigmas, sigma_id = stack_unique([engines[i].order for i in kernel_idx])
+        start, end, proc, activation, mem_trace, status, finals = batch_arrays(
+            nscen, n
+        )
+        args = (
+            prepared.tree.parent,
+            prepared.pending0,
+            prepared.tree.w,
+            ranks,
+            byranks,
+            rank_id,
+            ps,
+            modes,
+            cap_eps,
+            prepared.alloc,
+            prepared.free_on_end,
+            sigmas,
+            sigma_id,
+            start,
+            end,
+            proc,
+            activation,
+            mem_trace,
+            status,
+            finals,
+        )
+        if _FORK_UNSAFE and resolved in ("numba", "c"):
+            # forked child of a parallel-tainted parent: re-entering the
+            # thread runtime could deadlock, so sweep the stacks through
+            # the single-scenario kernel instead -- same kernel, same
+            # rows, bit-identical results.
+            _batch_via_single(resolved, kernel_idx, engines, prepared, args)
+        elif resolved == "numba":
+            import numba
+
+            # numba threads are a process-global; clamp to the launch
+            # cap, restore afterwards so nested callers are unaffected.
+            old = numba.get_num_threads()
+            numba.set_num_threads(
+                max(1, min(nthreads, numba.config.NUMBA_NUM_THREADS))
+            )
+            try:
+                _sweep.JIT_BATCH(*args)
+            finally:
+                numba.set_num_threads(old)
+            # parallel=True engages the threading layer regardless of
+            # the thread count, so any fork from here on is tainted.
+            _note_parallel_used()
+        elif resolved == "c":
+            from . import _ckernel
+
+            _ckernel.batch_kernel(*args, threads=nthreads)
+            if nthreads > 1 and _ckernel.openmp_enabled():
+                _note_parallel_used()
+        else:  # "kernel": the interpreted spec, serial loop
+            _sweep.PY_BATCH(*args)
+        for j, i in enumerate(kernel_idx):
+            e = engines[i]
+            e.backend_used = e.backend
+            try:
+                outcomes[i] = e._finish_kernel(
+                    start[j],
+                    end[j],
+                    proc[j],
+                    activation[j],
+                    mem_trace[j],
+                    status[j],
+                    finals[j],
+                )
+            except (MemoryCapError, ValueError, MemoryError) as exc:
+                outcomes[i] = exc
+    return BatchRun(
+        engines=engines, outcomes=outcomes, backend=resolved, threads=nthreads
+    )

@@ -45,13 +45,47 @@ import numpy as np
 
 from .tree import TaskTree
 
-__all__ = ["PreparedTree", "as_prepared", "tree_of"]
+__all__ = ["PreparedTree", "as_prepared", "stack_unique", "tree_of"]
 
 
 def _frozen(arr: np.ndarray) -> np.ndarray:
     """Mark an array read-only and return it (cache hygiene)."""
     arr.setflags(write=False)
     return arr
+
+
+def stack_unique(rows: list) -> tuple[np.ndarray, np.ndarray]:
+    """Stack per-scenario rows deduplicated by array identity.
+
+    The megabatch kernel spec takes per-scenario *ids* into shared row
+    stacks (rank permutations, activation orders) rather than one row
+    per scenario: grids reuse a handful of arrays cached on the
+    prepared bundle, so identity dedup keeps the stacks tiny.
+
+    Returns ``(stack, ids)`` where ``ids[i]`` is the row index of
+    ``rows[i]`` in ``stack``, or ``-1`` where ``rows[i]`` is None (an
+    uncapped scenario has no activation order). When every row is None
+    the stack is a ``(1, 0)`` int64 dummy, so kernels can still slice
+    an empty row of it.
+    """
+    ids = np.empty(len(rows), dtype=np.int64)
+    unique: list[np.ndarray] = []
+    index: dict[int, int] = {}
+    for i, row in enumerate(rows):
+        if row is None:
+            ids[i] = -1
+            continue
+        k = index.get(id(row))
+        if k is None:
+            k = len(unique)
+            index[id(row)] = k
+            unique.append(row)
+        ids[i] = k
+    if unique:
+        stack = np.ascontiguousarray(np.stack(unique))
+    else:
+        stack = np.zeros((1, 0), dtype=np.int64)
+    return stack, ids
 
 
 class PreparedTree:
@@ -68,10 +102,14 @@ class PreparedTree:
     -----
     The cached arrays are read-only and shared by reference across
     runs; the one mutable piece of state -- the ``pending`` scratch
-    buffer the sweep kernels consume -- is refilled from the pristine
-    ``pending0`` column at the start of every run, so runs never
-    observe each other. The bundle is not thread-safe (the scratch
-    buffer is shared), matching the engine's single-threaded sweep.
+    the sweep kernels consume -- is a per-*slot* row refilled from the
+    pristine ``pending0`` column at the start of every run, so runs
+    never observe each other. Single-threaded callers use the default
+    slot 0; a caller driving sweeps from multiple Python threads hands
+    each thread its own slot (one mutation scratch per thread slot, not
+    per tree). The batched kernels (:func:`repro.core.engine.sweep_batch`)
+    never touch the scratch at all -- they copy ``pending0`` into
+    per-worker arenas inside the kernel.
     """
 
     __slots__ = (
@@ -122,16 +160,26 @@ class PreparedTree:
             )
         return self._pending0
 
-    def pending_scratch(self) -> np.ndarray:
-        """The reusable ``pending`` buffer, refilled from
-        :attr:`pending0` (one memcpy instead of a diff + allocation per
-        run). Valid until the next call."""
-        if self._pending_scratch is None:
-            self._pending_scratch = self.pending0.copy()
-            self._pending_scratch.setflags(write=True)
-        else:
-            np.copyto(self._pending_scratch, self.pending0)
-        return self._pending_scratch
+    def pending_scratch(self, slot: int = 0) -> np.ndarray:
+        """The reusable ``pending`` buffer of mutation slot ``slot``,
+        refilled from :attr:`pending0` (one memcpy instead of a diff +
+        allocation per run). Valid until the next call with the same
+        slot; distinct slots are rows of one matrix and never alias, so
+        each Python thread of a multi-threaded driver can own a slot.
+        """
+        if slot < 0:
+            raise ValueError("slot must be non-negative")
+        cache = self._pending_scratch
+        if cache is None or len(cache) <= slot:
+            matrix = np.empty((slot + 1, self.n), dtype=np.int64)
+            # cache the row views so each slot hands back the same
+            # buffer object run after run (grown matrices retire the
+            # old ones, but live views keep their memory valid)
+            cache = [matrix[i] for i in range(slot + 1)]
+            self._pending_scratch = cache
+        row = cache[slot]
+        np.copyto(row, self.pending0)
+        return row
 
     @property
     def alloc(self) -> np.ndarray:

@@ -24,23 +24,33 @@ from repro.core.schedule import Schedule
 from repro.core.tree import TaskTree
 from .list_scheduling import list_schedule, postorder_ranks
 
-__all__ = ["par_inner_first_naive_order", "par_hop_deepest_first", "VARIANTS"]
+__all__ = [
+    "par_inner_first_naive_order",
+    "par_inner_first_naive_rank",
+    "par_hop_deepest_first",
+    "par_hop_deepest_first_rank",
+    "VARIANTS",
+]
 
 
-def par_inner_first_naive_order(
-    tree: TaskTree | PreparedTree, p: int, backend: str | None = None
-) -> Schedule:
-    """ParInnerFirst with a naive (index-order) postorder as ``O``."""
+def par_inner_first_naive_rank(tree: TaskTree | PreparedTree) -> np.ndarray:
+    """Priority rank of the naive-postorder ParInnerFirst variant
+    (cached on a prepared tree under the variant's registry key)."""
     from .par_inner_first import par_inner_first_rank
 
     def build() -> np.ndarray:
         return par_inner_first_rank(tree, tree_of(tree).postorder())
 
     if isinstance(tree, PreparedTree):
-        rank = tree.rank_for("ParInnerFirst/naiveO", build)
-    else:
-        rank = build()
-    return list_schedule(tree, p, rank, backend=backend)
+        return tree.rank_for("ParInnerFirst/naiveO", build)
+    return build()
+
+
+def par_inner_first_naive_order(
+    tree: TaskTree | PreparedTree, p: int, backend: str | None = None
+) -> Schedule:
+    """ParInnerFirst with a naive (index-order) postorder as ``O``."""
+    return list_schedule(tree, p, par_inner_first_naive_rank(tree), backend=backend)
 
 
 def par_hop_deepest_first(
@@ -58,6 +68,12 @@ def par_hop_deepest_first(
     wins the tie. (An earlier revision computed this term as
     ``0 if leaf else 0`` -- a no-op; pinned by a regression test.)
     """
+    return list_schedule(tree, p, par_hop_deepest_first_rank(tree), backend=backend)
+
+
+def par_hop_deepest_first_rank(tree: TaskTree | PreparedTree) -> np.ndarray:
+    """Priority rank of the hop-depth ParDeepestFirst variant (cached
+    on a prepared tree under the variant's registry key)."""
 
     def build() -> np.ndarray:
         ranks = postorder_ranks(tree)
@@ -68,10 +84,8 @@ def par_hop_deepest_first(
         return lex_rank(-eff_depth, leaf.astype(np.int64), ranks)
 
     if isinstance(tree, PreparedTree):
-        rank = tree.rank_for("ParDeepestFirst/hops", build)
-    else:
-        rank = build()
-    return list_schedule(tree, p, rank, backend=backend)
+        return tree.rank_for("ParDeepestFirst/hops", build)
+    return build()
 
 
 #: variant name -> (base heuristic name, variant callable)

@@ -64,6 +64,13 @@ class Algorithm:
         underlying :class:`TaskTree`, so ``run`` works uniformly with
         either input form -- which is what gives every catalogued
         algorithm campaign-grid support for free.
+    sweep_spec:
+        optional builder ``(prepared, p, **params) ->``
+        :class:`~repro.core.engine.BatchScenario` describing the
+        algorithm as one scenario of a megabatch kernel call (every
+        engine-backed scheduler has one). Algorithms without a spec
+        (the subtree-splitting family, sequential traversals) simply
+        run unbatched; :meth:`batch_spec` is the public entry point.
     """
 
     name: str
@@ -72,6 +79,7 @@ class Algorithm:
     params: Mapping[str, Any] = field(default_factory=dict)
     doc: str = ""
     accepts_prepared: bool = False
+    sweep_spec: Callable[..., Any] | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("sequential", "parallel"):
@@ -99,6 +107,33 @@ class Algorithm:
             return Schedule.sequential(tree_of(tree), result.order, p=max(1, p))
         target = tree if self.accepts_prepared else tree_of(tree)
         return self.fn(target, p, **merged)
+
+    def batch_spec(self, tree: TaskTree | PreparedTree, p: int = 1, **overrides: Any):
+        """The algorithm as one megabatch scenario, or None.
+
+        Returns the :class:`~repro.core.engine.BatchScenario`
+        equivalent to ``run(tree, p, **overrides)`` -- same rank
+        permutation, cap, activation order and mode, so sweeping the
+        scenario through :func:`~repro.core.engine.sweep_batch` is
+        bit-identical to the unbatched call. Algorithms without a
+        registered ``sweep_spec`` return None (callers fall back to
+        :meth:`run`). The ``backend`` parameter, when declared, is a
+        dispatch knob of the whole batch rather than one scenario, so
+        it is stripped here; pass it to ``sweep_batch`` instead.
+        """
+        if self.sweep_spec is None:
+            return None
+        unknown = set(overrides) - set(self.params)
+        if unknown:
+            raise TypeError(
+                f"{self.name} accepts params {sorted(self.params)}, "
+                f"got unknown {sorted(unknown)}"
+            )
+        merged = {**self.params, **overrides}
+        merged.pop("backend", None)
+        from repro.core.prepared import as_prepared
+
+        return self.sweep_spec(as_prepared(tree), p, **merged)
 
 
 _REGISTRY: dict[str, Algorithm] = {}
@@ -156,12 +191,18 @@ def _populate() -> None:
     if _populated:
         return
     _populated = True
+    from repro.core.engine import BatchScenario
     from repro.parallel.par_subtrees import par_subtrees, par_subtrees_optim
-    from repro.parallel.par_inner_first import par_inner_first
-    from repro.parallel.par_deepest_first import par_deepest_first
+    from repro.parallel.par_inner_first import par_inner_first, par_inner_first_rank
+    from repro.parallel.par_deepest_first import (
+        par_deepest_first,
+        par_deepest_first_rank,
+    )
     from repro.parallel.variants import (
         par_hop_deepest_first,
+        par_hop_deepest_first_rank,
         par_inner_first_naive_order,
+        par_inner_first_naive_rank,
     )
     from repro.sequential.postorder import natural_postorder, optimal_postorder
     from repro.sequential.liu import liu_optimal_traversal
@@ -171,15 +212,48 @@ def _populate() -> None:
         ("ParSubtreesOptim", par_subtrees_optim, "ParSubtrees with work-packing optimisation"),
     ):
         register(Algorithm(name=name, kind="parallel", fn=fn, doc=doc))
+
+    def _rank_spec(rank_fn):
+        """Sweep spec of an uncapped list heuristic: its rank, cached on
+        the prepared bundle under the heuristic's priority-spec key."""
+
+        def spec(tree: PreparedTree, p: int) -> BatchScenario:
+            return BatchScenario(rank=rank_fn(tree), p=p)
+
+        return spec
+
+    def _memory_bounded_spec(
+        tree: PreparedTree, p: int, cap_factor: float = 2.0, mode: str = "strict"
+    ) -> BatchScenario:
+        # Mirrors _memory_bounded's prepared path exactly: the shared
+        # optimal postorder as sigma, its rank permutation as priority,
+        # the cap scaled off the sequential peak.
+        import numpy as np
+
+        res = tree.optimal()
+        return BatchScenario(
+            rank=tree.sigma_rank(),
+            p=p,
+            cap=cap_factor * res.peak_memory,
+            order=np.asarray(res.order, dtype=np.int64),
+            mode=mode,
+        )
+
     # The list schedulers all run on the unified engine, whose sweep
     # backend ("auto"/"python"/"numba"/"c") is a tunable parameter --
     # declared here so `repro run --backend` and run_experiments can
-    # discover which algorithms accept it.
-    for name, fn, doc in (
-        ("ParInnerFirst", par_inner_first, "parallel postorder: inner nodes first (Section 5.2)"),
-        ("ParDeepestFirst", par_deepest_first, "critical-path list scheduling (Section 5.3)"),
-        ("ParInnerFirst/naiveO", par_inner_first_naive_order, "ablation: naive postorder as O"),
-        ("ParDeepestFirst/hops", par_hop_deepest_first, "ablation: hop-count depth"),
+    # discover which algorithms accept it. Each also registers its
+    # megabatch sweep spec, so campaign grids collapse to one batched
+    # kernel call per tree (see repro.core.engine.sweep_batch).
+    for name, fn, rank_fn, doc in (
+        ("ParInnerFirst", par_inner_first, par_inner_first_rank,
+         "parallel postorder: inner nodes first (Section 5.2)"),
+        ("ParDeepestFirst", par_deepest_first, par_deepest_first_rank,
+         "critical-path list scheduling (Section 5.3)"),
+        ("ParInnerFirst/naiveO", par_inner_first_naive_order,
+         par_inner_first_naive_rank, "ablation: naive postorder as O"),
+        ("ParDeepestFirst/hops", par_hop_deepest_first,
+         par_hop_deepest_first_rank, "ablation: hop-count depth"),
     ):
         register(
             Algorithm(
@@ -189,6 +263,7 @@ def _populate() -> None:
                 params={"backend": None},
                 doc=doc,
                 accepts_prepared=True,
+                sweep_spec=_rank_spec(rank_fn),
             )
         )
     register(
@@ -199,6 +274,7 @@ def _populate() -> None:
             params={"cap_factor": 2.0, "mode": "strict", "backend": None},
             doc="event scheduler under a peak-memory cap (future-work extension)",
             accepts_prepared=True,
+            sweep_spec=_memory_bounded_spec,
         )
     )
     register(

@@ -202,9 +202,9 @@ class TestResume:
         executed = []
         original = campaign_mod._scenario_records
 
-        def spy(name, prepared, scenarios, validate):
+        def spy(name, prepared, scenarios, validate, *rest):
             executed.extend(sc.key() for sc in scenarios)
-            return original(name, prepared, scenarios, validate)
+            return original(name, prepared, scenarios, validate, *rest)
 
         monkeypatch.setattr(campaign_mod, "_scenario_records", spy)
         resumed = run_campaign(instances, campaign, checkpoint=part, resume=True)
