@@ -1,7 +1,14 @@
 """Experiment harness and statistics for Section 6's tables and figures."""
 
-from .experiments import ScenarioRecord, run_experiments, save_records, load_records
+from .experiments import (
+    FailedRecord,
+    ScenarioRecord,
+    run_experiments,
+    save_records,
+    load_records,
+)
 from .campaign import Campaign, Scenario, run_campaign, recover_checkpoint
+from .supervisor import RunReport, run_supervised
 from .metrics import HeuristicStats, compute_table1_stats, group_by_scenario
 from .tables import render_table1, table1_csv
 from .figures import FigureSeries, Cross, figure_data, render_figure, figure_csv
@@ -10,6 +17,7 @@ from .shape_stats import ShapeSummary, summarize_shapes, render_shape_table
 from .visualize import render_tree, render_memory_profile
 
 __all__ = [
+    "FailedRecord",
     "ScenarioRecord",
     "run_experiments",
     "save_records",
@@ -18,6 +26,8 @@ __all__ = [
     "Scenario",
     "run_campaign",
     "recover_checkpoint",
+    "RunReport",
+    "run_supervised",
     "HeuristicStats",
     "compute_table1_stats",
     "group_by_scenario",

@@ -52,9 +52,10 @@ from repro import registry
 from repro.core.prepared import PreparedTree
 from repro.core.simulator import simulate
 from repro.core.tree import TaskTree
+from repro.testing import faults
 from repro.workloads.dataset import TreeInstance, PROCESSOR_COUNTS
 
-from .experiments import ScenarioRecord, save_records
+from .experiments import FailedRecord, ScenarioRecord, save_records
 
 __all__ = ["Campaign", "Scenario", "run_campaign", "recover_checkpoint"]
 
@@ -345,7 +346,7 @@ def _shm_attach(name: str):
 # ----------------------------------------------------------------------
 # resumable checkpoints
 # ----------------------------------------------------------------------
-def recover_checkpoint(path: str) -> tuple[list[ScenarioRecord], int]:
+def recover_checkpoint(path: str) -> tuple[list[ScenarioRecord | FailedRecord], int]:
     """Read a (possibly crash-truncated) JSONL checkpoint.
 
     Returns the complete records and the byte offset of the valid
@@ -354,13 +355,25 @@ def recover_checkpoint(path: str) -> tuple[list[ScenarioRecord], int]:
     is dropped (resuming truncates the file there, so the appended
     continuation stays byte-identical to an uninterrupted run). A
     malformed *complete* line cannot be crash residue and raises
-    ``ValueError``.
+    ``ValueError``. Quarantined scenarios come back as
+    :class:`FailedRecord` at their stream positions.
     """
+    records, offsets, pos = _recover_with_offsets(path)
+    return records, pos
+
+
+def _recover_with_offsets(
+    path: str,
+) -> tuple[list[ScenarioRecord | FailedRecord], list[int], int]:
+    """:func:`recover_checkpoint` plus the byte offset of each record's
+    line (what ``retry_failed`` needs to truncate the file at the first
+    quarantined scenario and recompute from there)."""
     import json
 
     with open(path, "rb") as fh:
         data = fh.read()
-    records: list[ScenarioRecord] = []
+    records: list[ScenarioRecord | FailedRecord] = []
+    offsets: list[int] = []
     pos = 0
     size = len(data)
     while pos < size:
@@ -370,14 +383,17 @@ def recover_checkpoint(path: str) -> tuple[list[ScenarioRecord], int]:
         line = data[pos:nl].strip()
         if line:
             try:
-                records.append(ScenarioRecord(**json.loads(line)))
-            except (ValueError, TypeError) as exc:
+                row = json.loads(line)
+                record = FailedRecord(**row) if row.get("failed") else ScenarioRecord(**row)
+            except (ValueError, TypeError, AttributeError) as exc:
                 raise ValueError(
                     f"{path}: malformed record on a complete line "
                     f"(not a truncated tail; the checkpoint is corrupt): {exc}"
                 ) from None
+            records.append(record)
+            offsets.append(pos)
         pos = nl + 1
-    return records, pos
+    return records, offsets, pos
 
 
 def _split_slices(items: Sequence, parts: int) -> list[Sequence]:
@@ -400,7 +416,14 @@ def run_campaign(
     shard_nodes: int | None = None,
     threads: int | None = None,
     megabatch: bool = True,
-) -> list[ScenarioRecord]:
+    supervise: bool = False,
+    retries: int = 2,
+    timeout: float | None = None,
+    backoff: float = 0.25,
+    fault_plan: "faults.FaultPlan | None" = None,
+    retry_failed: bool = False,
+    report: list | None = None,
+) -> list[ScenarioRecord | FailedRecord]:
     """Execute a campaign grid, optionally resuming a checkpoint.
 
     Parameters
@@ -443,17 +466,58 @@ def run_campaign(
         sweep each tree's batchable scenarios in one thread-parallel
         kernel call (default). ``False`` restores the per-scenario
         loop; the record stream is byte-identical either way.
+    supervise:
+        run the grid under the fault-tolerant worker pool of
+        :mod:`repro.analysis.supervisor`: dedicated worker processes
+        with crash/hang detection, per-scenario retries with
+        exponential backoff, quarantine of poison scenarios as
+        :class:`FailedRecord` stream entries, and per-worker backend
+        health probing with graceful degradation (c -> numba ->
+        python). Scenarios are dispatched one at a time (``megabatch``
+        and ``shard_nodes`` do not apply); the record stream -- and the
+        checkpoint -- is byte-identical to the unsupervised modes.
+    retries:
+        supervised mode: how many times a scenario is *re*-tried after
+        an environmental failure (crash, timeout, transient error)
+        before being quarantined; deterministic scheduler errors
+        (infeasible caps, bad parameters) quarantine immediately.
+    timeout:
+        supervised mode: per-scenario wall-clock budget in seconds;
+        a worker exceeding it is killed and the scenario retried.
+    backoff:
+        supervised mode: base of the exponential retry delay
+        (``backoff * 2**(attempt-1)`` seconds).
+    fault_plan:
+        deterministic fault injection
+        (:class:`repro.testing.faults.FaultPlan`) for the chaos tests
+        and the hidden ``--fault-plan`` CLI flag; default: the
+        ``REPRO_FAULT_PLAN`` environment variable, if set.
+    retry_failed:
+        on resume, do not skip quarantined scenarios: the checkpoint
+        is truncated at the first :class:`FailedRecord` and everything
+        from there is recomputed, healing the file to byte-identity
+        with a fault-free run (when the fault is gone).
+    report:
+        optional mutable list; supervised runs append their
+        :class:`~repro.analysis.supervisor.RunReport` (per-scenario
+        attempts, backend fallbacks, respawns, timings).
     """
     instances = list(instances)
     groups = [campaign.scenarios_for(inst.name) for inst in instances]
     done = [0] * len(groups)
-    loaded: list[list[ScenarioRecord]] = [[] for _ in groups]
+    loaded: list[list[ScenarioRecord | FailedRecord]] = [[] for _ in groups]
 
     if checkpoint is not None:
         if not str(checkpoint).endswith(".jsonl"):
             raise ValueError("stream checkpoint must be a .jsonl path (append-friendly)")
         if resume and os.path.exists(checkpoint):
-            prior, good_bytes = recover_checkpoint(checkpoint)
+            prior, offsets, good_bytes = _recover_with_offsets(checkpoint)
+            if retry_failed:
+                for k, record in enumerate(prior):
+                    if isinstance(record, FailedRecord):
+                        prior = prior[:k]
+                        good_bytes = offsets[k]
+                        break
             expected = [(gi, sc) for gi, grp in enumerate(groups) for sc in grp]
             if len(prior) > len(expected):
                 raise ValueError(
@@ -488,7 +552,7 @@ def run_campaign(
         for chunk in _split_slices(rest, shards):
             units.append((gi, chunk))
 
-    computed: list[list[ScenarioRecord]] = [[] for _ in groups]
+    computed: list[list[ScenarioRecord | FailedRecord]] = [[] for _ in groups]
     remaining_units = [0] * len(groups)
     for gi, _ in units:
         remaining_units[gi] += 1
@@ -502,7 +566,46 @@ def run_campaign(
             if progress and remaining_units[gi] == 0:  # pragma: no cover - cosmetic
                 print(f"  done {instances[gi].name} (n={instances[gi].tree.n})")
 
-    if workers > 1 and units:
+    if supervise:
+        from .supervisor import run_supervised
+
+        # Per-scenario dispatch: the units flatten back into the exact
+        # campaign stream (sharding only splits, never reorders).
+        tasks = [(gi, sc) for gi, chunk in units for sc in chunk]
+        left = [len(grp) - done[gi] for gi, grp in enumerate(groups)]
+
+        def emit(gi: int, record: ScenarioRecord | FailedRecord) -> None:
+            computed[gi].append(record)
+            if checkpoint is not None:
+                save_records([record], checkpoint, append=True)
+            left[gi] -= 1
+            if progress and left[gi] == 0:  # pragma: no cover - cosmetic
+                print(f"  done {instances[gi].name} (n={instances[gi].tree.n})")
+
+        # Install a programmatic plan parent-side too, so checkpoint
+        # appends (which happen in this process) see truncate faults.
+        if fault_plan is not None:
+            faults.install(fault_plan)
+        try:
+            run_report = run_supervised(
+                instances,
+                tasks,
+                validate=campaign.validate,
+                backend=campaign.backend,
+                workers=max(1, workers),
+                retries=retries,
+                timeout=timeout,
+                backoff=backoff,
+                fault_plan=fault_plan,
+                shared_memory=shared_memory,
+                emit=emit,
+            )
+        finally:
+            if fault_plan is not None:
+                faults.install(None)
+        if report is not None:
+            report.append(run_report)
+    elif workers > 1 and units:
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
@@ -566,7 +669,7 @@ def run_campaign(
 
         consume(run_serial())
 
-    records: list[ScenarioRecord] = []
+    records: list[ScenarioRecord | FailedRecord] = []
     for gi in range(len(groups)):
         records.extend(loaded[gi])
         records.extend(computed[gi])

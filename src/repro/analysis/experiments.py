@@ -36,9 +36,16 @@ from dataclasses import asdict, dataclass
 from typing import Iterable, Sequence
 
 from repro.parallel.heuristics import HEURISTICS
+from repro.testing import faults
 from repro.workloads.dataset import TreeInstance, PROCESSOR_COUNTS
 
-__all__ = ["ScenarioRecord", "run_experiments", "save_records", "load_records"]
+__all__ = [
+    "FailedRecord",
+    "ScenarioRecord",
+    "run_experiments",
+    "save_records",
+    "load_records",
+]
 
 
 @dataclass(frozen=True)
@@ -69,6 +76,29 @@ class ScenarioRecord:
         return self.makespan / self.makespan_lb if self.makespan_lb > 0 else math.inf
 
 
+@dataclass(frozen=True)
+class FailedRecord:
+    """A quarantined (poison) scenario in a supervised campaign.
+
+    Written to the JSONL checkpoint at the scenario's stream position
+    when every attempt was exhausted (or the first attempt failed
+    deterministically), so the checkpoint stays a verifiable prefix of
+    the campaign's scenario stream. Shares the resume key fields
+    ``(tree, heuristic, p)`` with :class:`ScenarioRecord`; the
+    ``failed`` marker is what tells the two apart on disk. A resumed
+    campaign skips these by default and re-runs them (truncating the
+    checkpoint at the first one) with ``retry_failed=True``.
+    """
+
+    tree: str
+    n: int
+    p: int
+    heuristic: str
+    error: str
+    attempts: int
+    failed: bool = True
+
+
 def run_experiments(
     instances: Iterable[TreeInstance],
     processor_counts: Sequence[int] = PROCESSOR_COUNTS,
@@ -80,6 +110,9 @@ def run_experiments(
     chunksize: int = 1,
     shared_memory: bool = False,
     backend: str | None = None,
+    supervise: bool = False,
+    retries: int = 2,
+    timeout: float | None = None,
 ) -> list[ScenarioRecord]:
     """Run the full cross product of the paper's Section 6 campaign.
 
@@ -124,6 +157,12 @@ def run_experiments(
         ``workers > 1`` each pool worker selects/compiles its backend
         independently, so parallel campaigns fan out compiled sweeps.
         All backends are bit-identical, so records do not depend on it.
+    supervise, retries, timeout:
+        run under the fault-tolerant supervised worker pool (crash and
+        hang detection, bounded retries with backoff, quarantine of
+        poison scenarios, per-worker backend degradation); see
+        :func:`repro.analysis.campaign.run_campaign`. The record
+        stream stays byte-identical to the unsupervised modes.
     """
     from .campaign import Campaign, run_campaign
 
@@ -142,6 +181,9 @@ def run_experiments(
         shared_memory=shared_memory,
         chunksize=chunksize,
         progress=progress,
+        supervise=supervise,
+        retries=retries,
+        timeout=timeout,
     )
 
 
@@ -165,9 +207,11 @@ def save_records(
     if jsonl and append:
         with open(path, "a") as fh:
             for r in records:
-                fh.write(json.dumps(asdict(r)))
-                fh.write("\n")
+                line = json.dumps(asdict(r)) + "\n"
+                faults.maybe_truncate_write(fh, line)
+                fh.write(line)
                 fh.flush()
+            os.fsync(fh.fileno())
         return
     tmp = f"{path}.tmp.{os.getpid()}"
     try:
@@ -181,6 +225,7 @@ def save_records(
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        _fsync_dir(path)
     except BaseException:
         try:
             os.unlink(tmp)
@@ -189,7 +234,25 @@ def save_records(
         raise
 
 
-def load_records(path: str) -> list[ScenarioRecord]:
+def _fsync_dir(path: str) -> None:
+    """fsync the directory containing ``path``, so the atomic rename
+    itself is durable (best-effort: directory fds are a POSIX notion)."""
+    parent = os.path.dirname(os.path.abspath(path))
+    try:
+        fd = os.open(parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX / restricted dirs
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+def load_records(
+    path: str, include_failed: bool = False
+) -> list[ScenarioRecord | FailedRecord]:
     """Load records written by :func:`save_records` (JSON or JSONL).
 
     JSONL files recover from a truncated *final* line -- the possible
@@ -198,6 +261,11 @@ def load_records(path: str) -> list[ScenarioRecord]:
     *unterminated* trailing line, which is dropped. A malformed line
     anywhere else (including a newline-terminated final line) cannot be
     crash residue and raises ``ValueError``.
+
+    Quarantined scenarios (:class:`FailedRecord` rows, marked by their
+    ``failed`` key) are skipped by default so every analysis consumer
+    keeps seeing only measured records; pass ``include_failed=True`` to
+    get them interleaved at their stream positions.
     """
     with open(path) as fh:
         text = fh.read()
@@ -217,4 +285,11 @@ def load_records(path: str) -> list[ScenarioRecord]:
                     f"{path}: malformed record on line {k + 1} "
                     "(not a truncated tail; the file is corrupt)"
                 ) from None
-    return [ScenarioRecord(**row) for row in rows]
+    out: list[ScenarioRecord | FailedRecord] = []
+    for row in rows:
+        if row.get("failed"):
+            if include_failed:
+                out.append(FailedRecord(**row))
+        else:
+            out.append(ScenarioRecord(**row))
+    return out

@@ -23,6 +23,16 @@ import sys
 __all__ = ["main"]
 
 
+class _Interrupted(Exception):
+    """Raised by the campaign signal handlers (SIGINT/SIGTERM) so the
+    run can shut its workers down cleanly and exit ``128 + signum``
+    with a resume hint."""
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(signum)
+        self.signum = signum
+
+
 def _cmd_dataset(args: argparse.Namespace) -> int:
     from repro.workloads import build_dataset
 
@@ -257,6 +267,8 @@ def _cmd_memory_cap(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    import signal
+
     from repro import registry
     from repro.analysis.campaign import Campaign, run_campaign
     from repro.workloads import build_dataset
@@ -280,6 +292,26 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+    fault_plan = None
+    if args.fault_plan:
+        from repro.testing.faults import FaultPlan
+
+        text = args.fault_plan
+        if text.startswith("@"):
+            with open(text[1:]) as fh:
+                text = fh.read()
+        try:
+            fault_plan = FaultPlan.from_json(text)
+        except ValueError as exc:
+            print(f"--fault-plan: {exc}", file=sys.stderr)
+            return 2
+    supervise = bool(
+        args.supervise
+        or args.timeout is not None
+        or fault_plan is not None
+        or args.retry_failed
+        or args.report
+    )
     instances = build_dataset(scale=args.scale)
     if args.limit:
         instances = instances[: args.limit]
@@ -290,29 +322,73 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(
         f"campaign: {len(instances)} trees x {per_tree} scenarios/tree = "
         f"{len(instances) * per_tree} records"
-        + (f" -> {checkpoint}" + (" (resumable)" if args.resume else "") if checkpoint else ""),
+        + (f" -> {checkpoint}" + (" (resumable)" if args.resume else "") if checkpoint else "")
+        + (" [supervised]" if supervise else ""),
         file=sys.stderr,
     )
-    records = run_campaign(
-        instances,
-        campaign,
-        workers=args.workers,
-        checkpoint=checkpoint,
-        resume=bool(args.resume),
-        shared_memory=args.shared_memory,
-        shard_nodes=args.shard_nodes,
-        progress=args.verbose,
-        threads=args.threads,
-        megabatch=not args.no_megabatch,
-    )
+
+    # Flush-and-exit on SIGINT/SIGTERM: the checkpoint is already
+    # flushed per record, so the handlers only need to unwind the run
+    # (terminating pool/supervised workers on the way) and say how to
+    # resume. Exit code is the conventional 128 + signum.
+    def _on_signal(signum, frame):
+        raise _Interrupted(signum)
+
+    previous = {
+        s: signal.signal(s, _on_signal) for s in (signal.SIGINT, signal.SIGTERM)
+    }
+    reports: list = []
+    try:
+        records = run_campaign(
+            instances,
+            campaign,
+            workers=args.workers,
+            checkpoint=checkpoint,
+            resume=bool(args.resume),
+            shared_memory=args.shared_memory,
+            shard_nodes=args.shard_nodes,
+            progress=args.verbose,
+            threads=args.threads,
+            megabatch=not args.no_megabatch,
+            supervise=supervise,
+            retries=args.retries,
+            timeout=args.timeout,
+            fault_plan=fault_plan,
+            retry_failed=args.retry_failed,
+            report=reports,
+        )
+    except _Interrupted as exc:
+        name = signal.Signals(exc.signum).name
+        hint = (
+            f"; resume with --resume {checkpoint}"
+            if checkpoint
+            else " (no checkpoint; records are lost -- pass --resume PATH next time)"
+        )
+        print(f"interrupted by {name}: checkpoint flushed{hint}", file=sys.stderr)
+        return 128 + exc.signum
+    finally:
+        for s, handler in previous.items():
+            signal.signal(s, handler)
+    failed = [r for r in records if getattr(r, "failed", False)]
+    good = [r for r in records if not getattr(r, "failed", False)]
     by_label: dict[str, list] = {}
-    for r in records:
+    for r in good:
         by_label.setdefault(r.heuristic, []).append(r)
     print(f"{'algorithm':<28s} {'records':>8s} {'mean Cmax/LB':>13s} {'mean mem/Mseq':>14s}")
     for label, rs in by_label.items():
         cmax = sum(r.makespan_ratio for r in rs) / len(rs)
         mem = sum(r.memory_ratio for r in rs) / len(rs)
         print(f"{label:<28s} {len(rs):>8d} {cmax:>13.3f} {mem:>14.3f}")
+    if failed:
+        print(
+            f"quarantined: {len(failed)} scenario(s) "
+            "(structured failed records in the checkpoint; re-run with "
+            "--retry-failed to heal)",
+            file=sys.stderr,
+        )
+    if args.report:
+        for rep in reports:
+            print(rep.summary())
     if args.output and args.output != checkpoint:
         from repro.analysis import save_records
 
@@ -479,6 +555,45 @@ def main(argv: list[str] | None = None) -> int:
         "call per tree (byte-identical records, for comparison/debugging)",
     )
     sp.add_argument("--limit", type=int, default=0, help="number of trees (0 = all)")
+    sp.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run under the fault-tolerant worker pool: dedicated worker "
+        "processes with crash/hang detection, bounded retries with "
+        "exponential backoff, quarantine of poison scenarios and "
+        "per-worker backend degradation (byte-identical records)",
+    )
+    sp.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="supervised mode: re-tries per scenario after an environmental "
+        "failure before it is quarantined (default: 2)",
+    )
+    sp.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="supervised mode: per-scenario wall-clock budget; a worker "
+        "exceeding it is killed and the scenario retried (implies "
+        "--supervise)",
+    )
+    sp.add_argument(
+        "--retry-failed",
+        action="store_true",
+        help="on --resume, recompute quarantined scenarios instead of "
+        "skipping them (truncates the checkpoint at the first failed "
+        "record; implies --supervise)",
+    )
+    sp.add_argument(
+        "--report",
+        action="store_true",
+        help="print the supervised run report (per-scenario attempts, "
+        "backend fallbacks, respawns; implies --supervise)",
+    )
+    sp.add_argument("--fault-plan", default=None, help=argparse.SUPPRESS)
     sp.set_defaults(func=_cmd_campaign)
 
     sp = sub.add_parser("table1", help="regenerate Table 1")

@@ -12,8 +12,12 @@ The build is keyed by a hash of the C source **and the compiler
 flags**, so editing the kernel invalidates the cache automatically,
 an OpenMP build can never collide with a previously cached serial
 ``.so`` (the two differ only in flags), and concurrent processes
-converge on the same artifact (the compile writes to a unique temporary
-name and ``os.replace``-s it into place, which is atomic on POSIX).
+converge on the same artifact: the source is written to a unique
+temporary name and atomically renamed, the compile output likewise,
+and a stale-lock-tolerant ``.lock`` guard elects one builder while the
+others wait for the artifact to appear (a crashed builder's lock is
+broken once it goes stale, and a lock wait that times out simply
+compiles redundantly -- ``os.replace`` keeps that correct).
 
 Besides the single-scenario ``event_sweep`` the library exports
 ``batch_event_sweep``: the batched kernel spec
@@ -41,6 +45,7 @@ import os
 import shutil
 import subprocess
 import tempfile
+import time
 
 import numpy as np
 from numpy.ctypeslib import ndpointer
@@ -496,26 +501,91 @@ def _cache_key(flags: list[str]) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
+#: a build lock untouched for this long is considered the residue of a
+#: crashed builder and is broken (compiles are bounded to 120 s)
+_LOCK_STALE_SECONDS = 150.0
+
+#: how long a loser waits for the winner's artifact before giving up
+#: and compiling redundantly (still correct: artifacts land atomically)
+_LOCK_WAIT_SECONDS = 150.0
+
+
+def _acquire_build_lock(lock_path: str) -> bool:
+    """Try to become the builder; True when this process holds the lock.
+
+    The lock is an ``O_EXCL``-created file stamped with the builder's
+    pid. A stale lock (older than :data:`_LOCK_STALE_SECONDS` -- a
+    builder that crashed or was SIGKILLed mid-compile) is unlinked and
+    the acquisition retried once, so one dead process can never wedge
+    every future compile.
+    """
+    for _ in range(2):
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                if time.time() - os.stat(lock_path).st_mtime > _LOCK_STALE_SECONDS:
+                    os.unlink(lock_path)  # stale: break it and retry
+                    continue
+            except OSError:
+                pass  # raced: someone else broke or released it
+            return False
+        except OSError:  # pragma: no cover - unwritable cache dir
+            return False
+        with os.fdopen(fd, "w") as fh:
+            fh.write(f"{os.getpid()}\n")
+        return True
+    return False
+
+
 def _compile_one(cc: str, flags: list[str], lib_path: str) -> str:
     """Build ``lib_path`` with one flag set; returns an error string
-    (empty on success). The artifact lands atomically, so concurrent
-    builders converge."""
+    (empty on success).
+
+    Concurrent-safe: the source and the compiled library are both
+    written to unique temporary names and atomically renamed into
+    place, and a lock file elects one builder per artifact -- losers
+    wait for the winner's artifact instead of clobbering the shared
+    source mid-compile (the first-compile race of two pool workers
+    starting on a cold cache). A waiting process whose winner never
+    delivers (crash; stale lock) falls back to compiling itself.
+    """
     directory = os.path.dirname(lib_path)
-    tmp_lib = None
+    tmp_lib = tmp_src = None
+    locked = False
+    lock_path = lib_path + ".lock"
     try:
         os.makedirs(directory, exist_ok=True)
+        locked = _acquire_build_lock(lock_path)
+        if not locked:
+            # Another process is building this exact artifact: wait for
+            # it to land (or for the lock to vanish/go stale), then fall
+            # through to a redundant-but-safe compile if it never does.
+            deadline = time.time() + _LOCK_WAIT_SECONDS
+            while time.time() < deadline:
+                if os.path.exists(lib_path):
+                    return ""
+                locked = _acquire_build_lock(lock_path)
+                if locked:
+                    break  # winner vanished (or went stale): we build
+                time.sleep(0.05)
+        if os.path.exists(lib_path):
+            return ""  # raced: the artifact landed while we acquired
         src_path = os.path.join(
             directory, os.path.basename(lib_path).replace(".so", ".c")
         )
-        with open(src_path, "w") as fh:
+        fd, tmp_src = tempfile.mkstemp(suffix=".c", dir=directory)
+        with os.fdopen(fd, "w") as fh:
             fh.write(_SOURCE)
         fd, tmp_lib = tempfile.mkstemp(suffix=".so", dir=directory)
         os.close(fd)
-        cmd = [cc, *flags, "-o", tmp_lib, src_path]
+        cmd = [cc, *flags, "-o", tmp_lib, tmp_src]
         proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
         if proc.returncode != 0:
             detail = (proc.stderr or proc.stdout).strip().splitlines()
             return f"{cc} failed: {detail[-1] if detail else 'unknown error'}"
+        os.replace(tmp_src, src_path)  # canonical source, for debugging
+        tmp_src = None
         os.replace(tmp_lib, lib_path)  # atomic: racers converge
         tmp_lib = None
         return ""
@@ -524,9 +594,15 @@ def _compile_one(cc: str, flags: list[str], lib_path: str) -> str:
         # never crash engine construction out of backend="auto"
         return f"kernel build failed: {exc}"
     finally:
-        if tmp_lib is not None:
+        for leftover in (tmp_lib, tmp_src):
+            if leftover is not None:
+                try:
+                    os.unlink(leftover)
+                except OSError:
+                    pass
+        if locked:
             try:
-                os.unlink(tmp_lib)
+                os.unlink(lock_path)
             except OSError:
                 pass
 
@@ -623,13 +699,32 @@ def _ensure_built() -> tuple:
     return _BUILD
 
 
+def _injected_failure() -> bool:
+    """True when a fault plan forces a compile failure (chaos testing).
+
+    The hook sits here -- not in the engine -- so every consumer of the
+    C backend (``resolve_backend``, ``available_backends``, the worker
+    health probe) sees the same degraded world. A no-op without an
+    active :mod:`repro.testing.faults` plan.
+    """
+    try:
+        from repro.testing import faults
+    except ImportError:  # pragma: no cover - broken partial install
+        return False
+    return faults.compile_failure()
+
+
 def available() -> bool:
     """True when the C kernel compiled (or was already cached) and loaded."""
+    if _injected_failure():
+        return False
     return _ensure_built()[0] is not None
 
 
 def unavailable_reason() -> str:
     """Why :func:`available` is False (empty string when available)."""
+    if _injected_failure():
+        return "injected compile failure (REPRO_FAULT_PLAN)"
     return _ensure_built()[1]
 
 

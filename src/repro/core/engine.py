@@ -65,6 +65,7 @@ __all__ = [
     "available_backends",
     "default_threads",
     "lex_rank",
+    "probe_backend",
     "rank_from_callable",
     "resolve_backend",
     "sweep_batch",
@@ -190,6 +191,51 @@ def resolve_backend(backend: str | None = None) -> str:
                 "backend='auto' to fall back to the fastest available backend"
             )
     return backend
+
+
+def probe_backend(backend: str | None = None) -> tuple[str, list[tuple[str, str]]]:
+    """Health-probe the sweep-backend chain; return what actually works.
+
+    :func:`resolve_backend` answers "is the backend nominally present"
+    (module importable, artifact compiled); this function answers "does
+    it *run*": each candidate executes a real two-node sweep, and the
+    first one to produce a schedule wins. Candidates are tried in
+    degradation order -- the requested backend first, then the
+    remaining concrete backends fastest-first (``numba``, ``c``,
+    ``python``), so an explicit ``backend="c"`` whose compile fails
+    (toolchain missing, or an injected ``compile_failure`` fault)
+    degrades ``c -> numba -> python`` instead of raising.
+
+    Returns ``(usable backend, skipped)`` where ``skipped`` lists the
+    ``(backend, reason)`` pairs that failed the probe -- the supervised
+    campaign runtime probes once per worker at pool startup, caches the
+    decision for the worker's lifetime, and records ``skipped`` in the
+    :class:`~repro.analysis.supervisor.RunReport`. Results never depend
+    on the outcome: every backend is bit-identical.
+    """
+    skipped: list[tuple[str, str]] = []
+    try:
+        first: str | None = resolve_backend(backend)
+    except BackendUnavailableError as exc:
+        requested = backend or os.environ.get(BACKEND_ENV_VAR, "") or "auto"
+        skipped.append((requested, str(exc)))
+        first = None
+    chain = ([first] if first is not None else []) + [
+        b for b in ("numba", "c", "python") if b != first
+    ]
+    probe_tree = TaskTree.from_parents([-1, 0], w=1.0, f=1.0, sizes=0.0)
+    rank = np.arange(2, dtype=np.int64)
+    for candidate in chain:
+        try:
+            resolve_backend(candidate)
+            SchedulerEngine(probe_tree, 1, rank, backend=candidate).run()
+            return candidate, skipped
+        except Exception as exc:
+            skipped.append((candidate, f"{type(exc).__name__}: {exc}"))
+    raise RuntimeError(
+        "no usable sweep backend: "
+        + "; ".join(f"{b}: {reason}" for b, reason in skipped)
+    )
 
 
 def lex_rank(*keys: np.ndarray) -> np.ndarray:

@@ -35,7 +35,15 @@ from repro.core.prepared import PreparedTree, tree_of
 from repro.core.schedule import Schedule
 from repro.core.tree import TaskTree
 
-__all__ = ["Algorithm", "register", "get", "names", "algorithms", "run"]
+__all__ = [
+    "Algorithm",
+    "apply_backend",
+    "register",
+    "get",
+    "names",
+    "algorithms",
+    "run",
+]
 
 
 @dataclass(frozen=True)
@@ -321,3 +329,22 @@ def algorithms(kind: str | None = None) -> list[Algorithm]:
 def run(name: str, tree: TaskTree, p: int = 1, **params: Any) -> Schedule:
     """Run registry algorithm ``name`` on ``(tree, p)``."""
     return get(name).run(tree, p, **params)
+
+
+def apply_backend(
+    name: str, params: Mapping[str, Any], backend: str | None
+) -> dict[str, Any]:
+    """``params`` with the sweep backend forced, when ``name`` declares one.
+
+    The supervised campaign runtime health-probes the backend chain once
+    per worker (:func:`repro.core.engine.probe_backend`) and pins every
+    scenario of that worker to the surviving backend through this
+    helper; algorithms that do not declare a ``backend`` parameter (the
+    subtree-splitting family, sequential traversals) pass through
+    untouched. Schedules are backend-independent, so the override never
+    changes a record.
+    """
+    merged = dict(params)
+    if backend is not None and "backend" in get(name).params:
+        merged["backend"] = backend
+    return merged

@@ -1,0 +1,28 @@
+"""Deterministic test doubles for the fault-tolerant campaign runtime.
+
+The only member today is :mod:`repro.testing.faults`: a declarative
+fault-injection harness (:class:`~repro.testing.faults.FaultPlan`)
+activated either programmatically (:func:`~repro.testing.faults.install`)
+or via the ``REPRO_FAULT_PLAN`` environment variable, which the chaos
+test suite and the CI chaos-smoke leg use to prove that campaigns
+survive worker crashes, compile failures, hung scenarios and truncated
+checkpoint writes with byte-identical successful records.
+"""
+
+from .faults import (
+    ENV_VAR,
+    Fault,
+    FaultPlan,
+    active_plan,
+    install,
+    scenario_key,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "Fault",
+    "FaultPlan",
+    "active_plan",
+    "install",
+    "scenario_key",
+]

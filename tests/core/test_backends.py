@@ -142,6 +142,77 @@ class TestSelection:
 
 
 # ----------------------------------------------------------------------
+# startup health probe: the supervised runtime's degradation chain
+# ----------------------------------------------------------------------
+class TestProbeBackend:
+    def test_probe_picks_a_working_backend(self, monkeypatch):
+        from repro.core.engine import probe_backend
+
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        chosen, skipped = probe_backend(None)
+        assert chosen in available_backends()
+        assert all(isinstance(b, str) and isinstance(why, str) for b, why in skipped)
+
+    def test_probe_honours_explicit_working_backend(self):
+        from repro.core.engine import probe_backend
+
+        chosen, skipped = probe_backend("python")
+        assert chosen == "python"
+        assert skipped == []
+
+    def test_probe_degrades_on_injected_compile_failure(self, monkeypatch):
+        """A broken C toolchain (injected) degrades c -> numba ->
+        python instead of failing the worker, and the skip reasons are
+        recorded for the run report."""
+        from repro.core.engine import probe_backend
+        from repro.testing import faults
+
+        monkeypatch.delenv(faults.ENV_VAR, raising=False)
+        faults.install(faults.FaultPlan((faults.Fault(kind="compile_failure"),)))
+        try:
+            chosen, skipped = probe_backend("c")
+        finally:
+            faults.install(None)
+        assert chosen != "c"
+        assert chosen in ("numba", "python")
+        reasons = {b: why for b, why in skipped}
+        assert "injected compile failure" in reasons["c"]
+
+    def test_probe_runs_a_real_sweep(self, monkeypatch):
+        """Backends that resolve but cannot *run* are skipped too: the
+        probe executes a real two-node sweep, not just a lookup."""
+        from repro.core import engine as engine_mod
+        from repro.core.engine import probe_backend
+
+        real_init = engine_mod.SchedulerEngine.__init__
+
+        def sabotaged(self, *a, **kw):
+            if kw.get("backend") == "python":
+                raise RuntimeError("sabotaged python backend")
+            return real_init(self, *a, **kw)
+
+        monkeypatch.setattr(engine_mod.SchedulerEngine, "__init__", sabotaged)
+        chosen, skipped = probe_backend("python")
+        assert chosen != "python"
+        assert any("sabotaged" in why for _b, why in skipped)
+
+    def test_apply_backend_only_touches_declaring_algorithms(self):
+        assert registry.apply_backend("ParDeepestFirst", {}, "python") == {
+            "backend": "python"
+        }
+        # explicit scenario params are overridden by the probed backend
+        assert registry.apply_backend(
+            "ParDeepestFirst", {"backend": "c"}, "python"
+        ) == {"backend": "python"}
+        # no declared backend parameter: params pass through untouched
+        assert registry.apply_backend("ParSubtrees", {}, "python") == {}
+        # no probed decision: params pass through untouched
+        assert registry.apply_backend("ParDeepestFirst", {"backend": "c"}, None) == {
+            "backend": "c"
+        }
+
+
+# ----------------------------------------------------------------------
 # golden equivalence: every heuristic, both memory modes, all backends
 # ----------------------------------------------------------------------
 class TestBackendEquivalence:

@@ -139,6 +139,62 @@ class TestCli:
 
         assert load_records(out) == load_records(ckpt)
 
+    def test_campaign_supervised_report_and_fault_plan(self, tmp_path, capsys):
+        """--supervise + hidden --fault-plan: the injected compile
+        failure degrades the backend, the checkpoint matches the
+        unsupervised run byte-for-byte, and --report prints the
+        supervised digest."""
+        base = [
+            "campaign",
+            "--scale",
+            "tiny",
+            "--algos",
+            "ParDeepestFirst,ParSubtrees",
+            "--procs",
+            "2,4",
+            "--limit",
+            "2",
+        ]
+        plain = str(tmp_path / "plain.jsonl")
+        assert main(base + ["--resume", plain]) == 0
+        capsys.readouterr()
+        supervised = str(tmp_path / "supervised.jsonl")
+        assert (
+            main(
+                base
+                + [
+                    "--resume",
+                    supervised,
+                    "--supervise",
+                    "--report",
+                    "--fault-plan",
+                    '{"faults": [{"kind": "compile_failure"}]}',
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "supervised run:" in captured.out
+        assert "[supervised]" in captured.err
+        assert open(plain, "rb").read() == open(supervised, "rb").read()
+
+    def test_campaign_bad_fault_plan_rejected(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--scale",
+                    "tiny",
+                    "--algos",
+                    "ParSubtrees",
+                    "--fault-plan",
+                    "{broken",
+                ]
+            )
+            == 2
+        )
+        assert "--fault-plan" in capsys.readouterr().err
+
     def test_campaign_all_algos_and_unknown(self, capsys):
         assert (
             main(
