@@ -1,0 +1,299 @@
+"""Record-store benchmark: columnar segments vs. flat JSONL at scale.
+
+Synthesizes a campaign-shaped record stream (a (trees x heuristics x p)
+grid with ~1% quarantined ``FailedRecord`` rows) at 1e5..1e6 records
+and times, per backend:
+
+* **write** -- persisting the stream (``save_records`` line-by-line vs.
+  one sealed npz segment per store);
+* **load** -- materialising :class:`~repro.analysis.store.RecordColumns`
+  (a million ``json.loads`` calls vs. ``np.load`` of the segments);
+* **analyze** -- the end-to-end consumer path: load the store, then run
+  the vectorised groupby (:func:`~repro.analysis.metrics.group_stats`)
+  and Table 1 (:func:`~repro.analysis.metrics.compute_table1_stats`).
+  ``legacy_analyze`` is the historical path (``load_records`` into
+  dataclass objects + the per-record reference loop), timed at the
+  smallest size as the trajectory baseline.
+
+Loaded columns are asserted equal across backends before any timing is
+reported, and the vectorised Table 1 is asserted equal to the reference
+loop -- the speedup is never allowed to change a single statistic.
+
+A separate ``--pareto`` mode times the per-point Pareto front /
+hypervolume loops against their column fast paths (equality asserted).
+
+``--smoke`` runs one tiny size of everything (CI bit-rot guard).
+Appends to the shared perf trajectory by default::
+
+    PYTHONPATH=src python benchmarks/bench_records.py --append
+    PYTHONPATH=src python benchmarks/bench_records.py \
+        --sizes 100000 1000000 --append
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_engine import write_payload  # noqa: E402
+
+from repro.analysis.experiments import load_records, save_records  # noqa: E402
+from repro.analysis.metrics import (  # noqa: E402
+    compute_table1_stats,
+    compute_table1_stats_reference,
+    group_stats,
+)
+from repro.analysis.pareto import (  # noqa: E402
+    ParetoPoint,
+    hypervolume,
+    hypervolume_columns,
+    pareto_front,
+    pareto_front_columns,
+)
+from repro.analysis.store import (  # noqa: E402
+    ColumnarStore,
+    RecordColumns,
+    open_store,
+)
+
+_HEURISTICS = (
+    "ParSubtrees",
+    "ParSubtreesOptim",
+    "ParInnerFirst",
+    "ParDeepestFirst",
+    "MemoryBounded@cap1.5",
+    "MemoryBounded@cap2",
+)
+_PROCS = (2, 4, 8, 16, 32)
+
+
+def synth_columns(n_records: int, seed: int, failed_rate: float = 0.01) -> RecordColumns:
+    """A deterministic campaign-shaped stream of ~``n_records`` rows.
+
+    Rounded to whole (tree x heuristic x p) grids, and quarantines hit
+    whole (tree, p) scenarios, so Table 1 (which requires complete
+    scenarios) runs on the measured remainder exactly like it does on a
+    real supervised campaign with ``--retry-failed`` pending.
+    """
+    rng = np.random.default_rng(seed)
+    per_tree = len(_HEURISTICS) * len(_PROCS)
+    n_trees = max(1, (n_records + per_tree - 1) // per_tree)
+    n_records = n_trees * per_tree
+    tree_id = np.repeat(np.arange(n_trees), per_tree)
+    slot = np.tile(np.arange(per_tree), n_trees)
+    heur = np.asarray(_HEURISTICS)[slot // len(_PROCS)]
+    p = np.asarray(_PROCS, np.int64)[slot % len(_PROCS)]
+    n_nodes = 500 + 100 * (tree_id % 37)
+    mk_lb = rng.uniform(10.0, 100.0, n_records)
+    mem_lb = rng.uniform(10.0, 100.0, n_records)
+    scen = tree_id * len(_PROCS) + slot % len(_PROCS)
+    failed = (rng.random(n_trees * len(_PROCS)) < failed_rate)[scen]
+    return RecordColumns(
+        tree=np.char.add("tree-", tree_id.astype(str)),
+        heuristic=heur.copy(),
+        error=np.where(failed, "worker crash: exit code 39", ""),
+        n=n_nodes.astype(np.int64),
+        p=p,
+        attempts=np.where(failed, 3, 0).astype(np.int64),
+        makespan=np.where(failed, np.nan, mk_lb * rng.uniform(1.0, 3.0, n_records)),
+        memory=np.where(failed, np.nan, mem_lb * rng.uniform(1.0, 5.0, n_records)),
+        memory_lb=np.where(failed, np.nan, mem_lb),
+        makespan_lb=np.where(failed, np.nan, mk_lb),
+        failed=failed,
+    )
+
+
+def timeit(fn, repeats: int):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _assert_columns_equal(a: RecordColumns, b: RecordColumns) -> None:
+    for name, arr in a.arrays().items():
+        got = getattr(b, name)
+        if arr.dtype.kind == "f":
+            assert np.array_equal(arr, got, equal_nan=True), f"column {name} diverged"
+        else:
+            assert np.array_equal(arr, got), f"column {name} diverged"
+
+
+def _load_groupby(path: str):
+    return group_stats(open_store(path).columns(include_failed=False))
+
+
+def _load_table1(path: str):
+    return compute_table1_stats(open_store(path).columns(include_failed=False))
+
+
+def run_store_bench(
+    sizes, repeats: int, seed: int, legacy_max: int = 200_000
+) -> list[dict]:
+    rows = []
+    for n in sizes:
+        cols = synth_columns(int(n), seed)
+        n = len(cols)
+        records = cols.to_records(include_failed=True)  # untimed setup
+        work = tempfile.mkdtemp(prefix="bench-records-")
+        try:
+            jsonl = os.path.join(work, "records.jsonl")
+            store_dir = os.path.join(work, "records.store")
+
+            def write_jsonl():
+                if os.path.exists(jsonl):
+                    os.unlink(jsonl)
+                save_records(records, jsonl, append=True)
+
+            def write_columnar():
+                store = ColumnarStore(store_dir)
+                store.reset()
+                store.extend_columns(cols)
+
+            t_jw, _ = timeit(write_jsonl, repeats)
+            t_cw, _ = timeit(write_columnar, repeats)
+
+            t_jl, from_jsonl = timeit(
+                lambda: open_store(jsonl).columns(include_failed=True), repeats
+            )
+            t_cl, from_col = timeit(
+                lambda: open_store(store_dir).columns(include_failed=True), repeats
+            )
+            _assert_columns_equal(from_jsonl, from_col)
+
+            t_jg, groups_j = timeit(lambda: _load_groupby(jsonl), repeats)
+            t_cg, groups_c = timeit(lambda: _load_groupby(store_dir), repeats)
+            assert groups_j == groups_c, "groupby diverged across backends"
+            t_jt, table1_j = timeit(lambda: _load_table1(jsonl), repeats)
+            t_ct, table1_c = timeit(lambda: _load_table1(store_dir), repeats)
+            assert table1_j == table1_c, "Table 1 diverged across backends"
+            row = {
+                "records": n,
+                "jsonl_write_s": round(t_jw, 4),
+                "columnar_write_s": round(t_cw, 4),
+                "jsonl_load_s": round(t_jl, 4),
+                "columnar_load_s": round(t_cl, 4),
+                "jsonl_groupby_s": round(t_jg, 4),
+                "columnar_groupby_s": round(t_cg, 4),
+                "jsonl_table1_s": round(t_jt, 4),
+                "columnar_table1_s": round(t_ct, 4),
+                "write_speedup": round(t_jw / t_cw, 2),
+                "load_speedup": round(t_jl / t_cl, 2),
+                "groupby_speedup": round(t_jg / t_cg, 2),
+                "table1_speedup": round(t_jt / t_ct, 2),
+            }
+            if n <= legacy_max:
+                # the historical object path, as the trajectory baseline
+                def legacy():
+                    objs = load_records(jsonl)
+                    return compute_table1_stats_reference(objs)
+
+                t_legacy, ref_stats = timeit(legacy, repeats)
+                assert table1_c == ref_stats, "vectorised Table 1 diverged"
+                row["legacy_table1_s"] = round(t_legacy, 4)
+                row["legacy_table1_speedup"] = round(t_legacy / t_ct, 2)
+            print(
+                f"n={n:>8d}  write jsonl {t_jw:7.3f}s col {t_cw:7.3f}s "
+                f"({row['write_speedup']:5.1f}x)  load {t_jl:7.3f}s vs "
+                f"{t_cl:7.3f}s ({row['load_speedup']:5.1f}x)  "
+                f"load+groupby {t_jg:7.3f}s vs {t_cg:7.3f}s "
+                f"({row['groupby_speedup']:5.1f}x)  load+table1 "
+                f"{t_jt:7.3f}s vs {t_ct:7.3f}s ({row['table1_speedup']:5.1f}x)"
+            )
+            rows.append(row)
+        finally:
+            shutil.rmtree(work, ignore_errors=True)
+    return rows
+
+
+def run_pareto_bench(sizes, repeats: int, seed: int) -> list[dict]:
+    rows = []
+    for n in sizes:
+        n = int(n)
+        rng = np.random.default_rng(seed)
+        mk = rng.uniform(1.0, 10.0, n)
+        mem = rng.uniform(1.0, 10.0, n)
+        points = [ParetoPoint(a, b, "x") for a, b in zip(mk, mem)]
+        ref = ParetoPoint(11.0, 11.0, "ref")
+
+        t_pf, front = timeit(lambda: pareto_front(points), repeats)
+        t_pfc, idx = timeit(lambda: pareto_front_columns(mk, mem), repeats)
+        assert [ParetoPoint(mk[i], mem[i], "x") for i in idx] == front
+
+        t_hv, hv = timeit(lambda: hypervolume(points, ref), repeats)
+        t_hvc, hvc = timeit(lambda: hypervolume_columns(mk, mem, ref), repeats)
+        assert abs(hv - hvc) <= 1e-9 * abs(hv)
+
+        row = {
+            "points": n,
+            "front_s": round(t_pf, 4),
+            "front_columns_s": round(t_pfc, 4),
+            "front_speedup": round(t_pf / t_pfc, 2) if t_pfc > 0 else None,
+            "hypervolume_s": round(t_hv, 4),
+            "hypervolume_columns_s": round(t_hvc, 4),
+        }
+        print(
+            f"n={n:>8d}  front {t_pf:7.3f}s vs {t_pfc:7.4f}s  "
+            f"hypervolume {t_hv:7.3f}s vs {t_hvc:7.4f}s"
+        )
+        rows.append(row)
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[10**5, 10**6]
+    )
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=2013)
+    parser.add_argument("--output", default="BENCH_engine.json")
+    parser.add_argument(
+        "--pareto",
+        action="store_true",
+        help="also time the Pareto front / hypervolume column fast paths",
+    )
+    parser.add_argument(
+        "--append",
+        action="store_true",
+        help="append to the output file instead of overwriting it",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny instance, all modes (CI bit-rot guard)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.sizes = [5000]
+        args.repeats = 1
+    payload = {
+        "benchmark": "records",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "repeats": args.repeats,
+        "seed": args.seed,
+        "smoke": bool(args.smoke),
+        "store": run_store_bench(args.sizes, args.repeats, args.seed),
+    }
+    if args.smoke or args.pareto:
+        payload["pareto"] = run_pareto_bench(args.sizes, args.repeats, args.seed)
+    write_payload(args.output, payload, args.append)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

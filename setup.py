@@ -31,6 +31,9 @@ setup(
         # (backend="numba"); everything works without it, this is a
         # pure speed upgrade -- schedules are bit-identical either way
         "fast": ["numba>=0.57"],
+        # parquet segments for the columnar record store (repro pack
+        # --store parquet); the jsonl and npz backends need nothing
+        "columnar": ["pyarrow"],
         "dev": ["pytest", "hypothesis", "ruff"],
     },
     entry_points={"console_scripts": ["repro-trees=repro.cli:main"]},

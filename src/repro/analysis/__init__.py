@@ -6,13 +6,39 @@ from .experiments import (
     run_experiments,
     save_records,
     load_records,
+    iter_records,
+)
+from .store import (
+    RecordColumns,
+    RecordStore,
+    JsonlStore,
+    ColumnarStore,
+    ParquetStore,
+    open_store,
+    pack_store,
+    merge_stores,
+    STORE_BACKENDS,
 )
 from .campaign import Campaign, Scenario, run_campaign, recover_checkpoint
 from .supervisor import RunReport, run_supervised
-from .metrics import HeuristicStats, compute_table1_stats, group_by_scenario
-from .tables import render_table1, table1_csv
+from .metrics import (
+    HeuristicStats,
+    GroupStats,
+    compute_table1_stats,
+    compute_table1_stats_reference,
+    group_by_scenario,
+    group_stats,
+)
+from .tables import render_table1, table1_csv, render_group_table, group_table_csv
 from .figures import FigureSeries, Cross, figure_data, render_figure, figure_csv
-from .pareto import ParetoPoint, dominates, pareto_front, hypervolume
+from .pareto import (
+    ParetoPoint,
+    dominates,
+    pareto_front,
+    pareto_front_columns,
+    hypervolume,
+    hypervolume_columns,
+)
 from .shape_stats import ShapeSummary, summarize_shapes, render_shape_table
 from .visualize import render_tree, render_memory_profile
 
@@ -22,6 +48,16 @@ __all__ = [
     "run_experiments",
     "save_records",
     "load_records",
+    "iter_records",
+    "RecordColumns",
+    "RecordStore",
+    "JsonlStore",
+    "ColumnarStore",
+    "ParquetStore",
+    "open_store",
+    "pack_store",
+    "merge_stores",
+    "STORE_BACKENDS",
     "Campaign",
     "Scenario",
     "run_campaign",
@@ -29,10 +65,15 @@ __all__ = [
     "RunReport",
     "run_supervised",
     "HeuristicStats",
+    "GroupStats",
     "compute_table1_stats",
+    "compute_table1_stats_reference",
     "group_by_scenario",
+    "group_stats",
     "render_table1",
     "table1_csv",
+    "render_group_table",
+    "group_table_csv",
     "FigureSeries",
     "Cross",
     "figure_data",
@@ -41,7 +82,9 @@ __all__ = [
     "ParetoPoint",
     "dominates",
     "pareto_front",
+    "pareto_front_columns",
     "hypervolume",
+    "hypervolume_columns",
     "ShapeSummary",
     "summarize_shapes",
     "render_shape_table",

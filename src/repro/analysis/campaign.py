@@ -27,11 +27,14 @@ Execution properties, all property-tested:
   order, so serial, pooled, shared-memory and sharded runs are
   byte-identical.
 * **Resumable checkpoints.** With ``checkpoint=path`` every record is
-  appended to a JSONL file (flushed per record). ``resume=True`` reads
-  the file back, drops a truncated final line (crash residue), verifies
-  the prefix against the campaign's expected scenario stream, and only
-  runs what is missing -- the resumed file is byte-for-byte identical
-  to an uninterrupted run.
+  appended to a record store (flushed per record) -- the historical
+  JSONL file, or a columnar segment store with ``store="columnar"``
+  (:mod:`repro.analysis.store`). ``resume=True`` streams the store
+  back, drops torn crash residue, verifies the prefix against the
+  campaign's expected scenario stream, and only runs what is missing
+  -- a resumed JSONL file is byte-for-byte identical to an
+  uninterrupted run, and a resumed columnar store packs to the same
+  bytes.
 * **Sharding.** Very large single trees (``shard_nodes=``) have their
   scenario slice split into contiguous chunks across the pool; combined
   with the shared-memory transport the workers attach zero-copy to one
@@ -41,7 +44,6 @@ Execution properties, all property-tested:
 from __future__ import annotations
 
 import multiprocessing
-import os
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
@@ -55,7 +57,8 @@ from repro.core.tree import TaskTree
 from repro.testing import faults
 from repro.workloads.dataset import TreeInstance, PROCESSOR_COUNTS
 
-from .experiments import FailedRecord, ScenarioRecord, save_records
+from .experiments import FailedRecord, ScenarioRecord
+from .store import RecordStore, open_store
 
 __all__ = ["Campaign", "Scenario", "run_campaign", "recover_checkpoint"]
 
@@ -410,6 +413,7 @@ def run_campaign(
     workers: int = 1,
     checkpoint: str | None = None,
     resume: bool = False,
+    store: "str | RecordStore | None" = None,
     shared_memory: bool = False,
     chunksize: int = 1,
     progress: bool = False,
@@ -443,6 +447,16 @@ def run_campaign(
         line is dropped and overwritten), verified against the expected
         scenario stream, and only missing scenarios are executed. The
         finished file is byte-identical to an uninterrupted run.
+    store:
+        record-store backend for the checkpoint: ``"jsonl"`` (default
+        for ``.jsonl`` paths), ``"columnar"`` (directory of npz column
+        segments + JSONL tail; see :mod:`repro.analysis.store`) or
+        ``"parquet"`` (requires pyarrow), or a ready
+        :class:`~repro.analysis.store.RecordStore` instance (then
+        ``checkpoint`` may be omitted). Every backend honours the same
+        crash-safe resume contract, and the record *stream* is
+        identical across backends (property-tested) -- columnar runs
+        pack back to byte-identical JSONL.
     shared_memory:
         ship tree arrays to workers through one
         ``multiprocessing.shared_memory`` block (zero-copy attach).
@@ -507,37 +521,49 @@ def run_campaign(
     done = [0] * len(groups)
     loaded: list[list[ScenarioRecord | FailedRecord]] = [[] for _ in groups]
 
-    if checkpoint is not None:
-        if not str(checkpoint).endswith(".jsonl"):
-            raise ValueError("stream checkpoint must be a .jsonl path (append-friendly)")
-        if resume and os.path.exists(checkpoint):
-            prior, offsets, good_bytes = _recover_with_offsets(checkpoint)
-            if retry_failed:
-                for k, record in enumerate(prior):
-                    if isinstance(record, FailedRecord):
-                        prior = prior[:k]
-                        good_bytes = offsets[k]
-                        break
+    ckstore: RecordStore | None = None
+    if isinstance(store, RecordStore):
+        ckstore = store
+    elif checkpoint is not None:
+        ckstore = open_store(checkpoint, backend=store or "auto")
+    elif store not in (None, "auto"):
+        raise ValueError(
+            "store=... names a backend and therefore needs a checkpoint "
+            "path; pass a RecordStore instance to omit the path"
+        )
+
+    if ckstore is not None:
+        if resume and ckstore.exists():
+            # Streaming prefix-verify: records are checked against the
+            # expected scenario stream one at a time (never materialising
+            # the checkpoint), then the store is truncated to the verified
+            # prefix -- which also drops torn crash residue.
             expected = [(gi, sc) for gi, grp in enumerate(groups) for sc in grp]
-            if len(prior) > len(expected):
-                raise ValueError(
-                    f"checkpoint {checkpoint!r} holds {len(prior)} records but the "
-                    f"campaign expands to {len(expected)} scenarios; it was not "
-                    "produced by this campaign"
-                )
-            for k, (record, (gi, sc)) in enumerate(zip(prior, expected)):
+            recovered = ckstore.recover()
+            keep = 0
+            for k, record in enumerate(recovered):
+                if retry_failed and isinstance(record, FailedRecord):
+                    break  # recompute from the first quarantined scenario
+                if k >= len(expected):
+                    total = k + 1 + sum(1 for _ in recovered)
+                    raise ValueError(
+                        f"checkpoint {ckstore.path!r} holds {total} records but "
+                        f"the campaign expands to {len(expected)} scenarios; it "
+                        "was not produced by this campaign"
+                    )
+                gi, sc = expected[k]
                 if (record.tree, record.heuristic, record.p) != sc.key():
                     raise ValueError(
-                        f"checkpoint {checkpoint!r} diverges from this campaign at "
+                        f"checkpoint {ckstore.path!r} diverges from this campaign at "
                         f"record {k}: found ({record.tree!r}, {record.heuristic!r}, "
                         f"p={record.p}), expected {sc.key()}"
                     )
                 loaded[gi].append(record)
                 done[gi] += 1
-            with open(checkpoint, "r+b") as fh:
-                fh.truncate(good_bytes)
+                keep = k + 1
+            ckstore.truncate(keep)
         else:
-            open(checkpoint, "w").close()  # truncate: the stream restarts
+            ckstore.reset()  # truncate: the stream restarts
 
     # Work units: (group index, remaining scenario slice); large trees
     # are sharded into several contiguous units of the same group.
@@ -560,8 +586,8 @@ def run_campaign(
     def consume(results: Iterable[list[ScenarioRecord]]) -> None:
         for (gi, _), recs in zip(units, results):
             computed[gi].extend(recs)
-            if checkpoint is not None:
-                save_records(recs, checkpoint, append=True)
+            if ckstore is not None:
+                ckstore.append(recs)
             remaining_units[gi] -= 1
             if progress and remaining_units[gi] == 0:  # pragma: no cover - cosmetic
                 print(f"  done {instances[gi].name} (n={instances[gi].tree.n})")
@@ -576,8 +602,8 @@ def run_campaign(
 
         def emit(gi: int, record: ScenarioRecord | FailedRecord) -> None:
             computed[gi].append(record)
-            if checkpoint is not None:
-                save_records([record], checkpoint, append=True)
+            if ckstore is not None:
+                ckstore.append([record])
             left[gi] -= 1
             if progress and left[gi] == 0:  # pragma: no cover - cosmetic
                 print(f"  done {instances[gi].name} (n={instances[gi].tree.n})")
@@ -669,6 +695,8 @@ def run_campaign(
 
         consume(run_serial())
 
+    if ckstore is not None:
+        ckstore.finalize()  # columnar: seal the tail for pure-array reads
     records: list[ScenarioRecord | FailedRecord] = []
     for gi in range(len(groups)):
         records.extend(loaded[gi])

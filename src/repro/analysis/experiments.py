@@ -45,6 +45,7 @@ __all__ = [
     "run_experiments",
     "save_records",
     "load_records",
+    "iter_records",
 ]
 
 
@@ -201,6 +202,14 @@ def save_records(
     truncated final line (which :func:`load_records` and the campaign
     resume path recover from).
     """
+    if _is_store_dir(path):
+        from .store import open_store
+
+        store = open_store(path)
+        if not append:
+            store.reset()
+        store.append(records)
+        return
     jsonl = str(path).endswith(".jsonl")
     if not jsonl and append:
         raise ValueError("append mode requires a .jsonl path")
@@ -232,6 +241,12 @@ def save_records(
         except OSError:
             pass
         raise
+
+
+def _is_store_dir(path: str) -> bool:
+    """True when ``path`` is a directory record store (columnar/parquet
+    manifest layout; see :mod:`repro.analysis.store`)."""
+    return os.path.exists(os.path.join(str(path), "manifest.json"))
 
 
 def _fsync_dir(path: str) -> None:
@@ -266,7 +281,16 @@ def load_records(
     ``failed`` key) are skipped by default so every analysis consumer
     keeps seeing only measured records; pass ``include_failed=True`` to
     get them interleaved at their stream positions.
+
+    Directory record stores (columnar / parquet; see
+    :mod:`repro.analysis.store`) load transparently -- any path written
+    by a ``--store columnar`` campaign reads back through the same
+    function, with identical record streams.
     """
+    if _is_store_dir(path):
+        from .store import open_store
+
+        return list(open_store(path).iter_records(include_failed=include_failed))
     with open(path) as fh:
         text = fh.read()
     if text.lstrip().startswith("["):
@@ -293,3 +317,26 @@ def load_records(
         else:
             out.append(ScenarioRecord(**row))
     return out
+
+
+def iter_records(path: str, include_failed: bool = False):
+    """Stream records from ``path`` without materialising the file.
+
+    The generator twin of :func:`load_records` (same recovery and
+    ``include_failed`` semantics) for JSONL checkpoints and directory
+    record stores; the campaign resume/prefix-verify and report paths
+    run on it, so resuming a million-record checkpoint never builds the
+    full list in memory. Historical JSON-array files fall back to a
+    whole-file parse (the format is not line-delimited).
+    """
+    if _is_store_dir(path):
+        from .store import open_store
+
+        yield from open_store(path).iter_records(include_failed=include_failed)
+        return
+    if not str(path).endswith(".jsonl"):
+        yield from load_records(path, include_failed=include_failed)
+        return
+    from .store import JsonlStore
+
+    yield from JsonlStore(path).iter_records(include_failed=include_failed)

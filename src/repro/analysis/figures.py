@@ -20,7 +20,8 @@ from typing import Sequence
 import numpy as np
 
 from .experiments import ScenarioRecord
-from .metrics import group_by_scenario
+from .metrics import _first_appearance_ids, _scenario_ids, group_by_scenario
+from .store import RecordColumns
 
 __all__ = ["FigureSeries", "Cross", "figure_data", "render_figure", "figure_csv"]
 
@@ -68,6 +69,8 @@ def figure_data(
     reference = {6: None, 7: "ParSubtrees", 8: "ParInnerFirst"}.get(which, "missing")
     if reference == "missing":
         raise ValueError("which must be 6, 7 or 8")
+    if isinstance(records, RecordColumns):
+        return _figure_data_columns(records, reference)
     groups = group_by_scenario(records)
     series: dict[str, tuple[list[float], list[float]]] = {}
     for recs in groups.values():
@@ -92,6 +95,52 @@ def figure_data(
         FigureSeries(name, np.asarray(xs), np.asarray(ys))
         for name, (xs, ys) in series.items()
     ]
+
+
+def _figure_data_columns(
+    cols: RecordColumns, reference: str | None
+) -> list[FigureSeries]:
+    """Vectorised :func:`figure_data` over record columns.
+
+    Reproduces the per-record loop exactly (same point order within
+    every series, same series order): records are re-ordered by
+    (scenario first-appearance, stream position) -- the loop's
+    iteration order -- and the per-scenario reference row broadcasts
+    through the scenario group ids instead of a linear search per
+    group.
+    """
+    cols = cols.measured()
+    if len(cols) == 0:
+        return []
+    scen_id, n_scen = _scenario_ids(cols)
+    order = np.lexsort((np.arange(len(cols)), scen_id))
+    heur = cols.heuristic[order]
+    scen = scen_id[order]
+    mk = cols.makespan[order]
+    mem = cols.memory[order]
+    if reference is None:
+        x = cols.makespan_ratio()[order]
+        y = cols.memory_ratio()[order]
+    else:
+        is_ref = heur == reference
+        ref_mk = np.full(n_scen, np.nan)
+        ref_mem = np.full(n_scen, np.nan)
+        # reversed assignment: the *first* reference row of a scenario
+        # wins, matching the loop's linear search
+        ref_mk[scen[is_ref][::-1]] = mk[is_ref][::-1]
+        ref_mem[scen[is_ref][::-1]] = mem[is_ref][::-1]
+        if np.isnan(ref_mk).any():
+            raise ValueError(f"records lack reference heuristic {reference}")
+        x = mk / ref_mk[scen]
+        y = mem / ref_mem[scen]
+    _, names = _first_appearance_ids(heur)
+    out = []
+    for name in names:
+        if str(name) == reference:
+            continue
+        sel = heur == name
+        out.append(FigureSeries(str(name), x[sel], y[sel]))
+    return out
 
 
 _MARKS = "ox+*#@"

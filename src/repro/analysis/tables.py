@@ -10,9 +10,9 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from .metrics import HeuristicStats
+from .metrics import GroupStats, HeuristicStats
 
-__all__ = ["render_table1", "table1_csv"]
+__all__ = ["render_table1", "table1_csv", "render_group_table", "group_table_csv"]
 
 _PAPER_TABLE1 = {
     # heuristic: (best mem %, within5 mem %, avg dev seq mem %,
@@ -49,6 +49,45 @@ def render_table1(stats: Sequence[HeuristicStats], compare_paper: bool = True) -
     if stats:
         lines.append(f"scenarios: {stats[0].scenarios}")
     return "\n".join(lines)
+
+
+def render_group_table(stats: Sequence[GroupStats]) -> str:
+    """ASCII table of the (algorithm, n, p, cap) campaign groupby
+    (:func:`repro.analysis.metrics.group_stats`): per cell, the record
+    count and the mean/max normalised ratios against the two lower
+    bounds."""
+    header = (
+        f"{'algorithm':<22s} {'n':>7s} {'p':>4s} {'cap':>6s} {'count':>6s} "
+        f"{'mk/LB mean':>11s} {'mk/LB max':>10s} "
+        f"{'mem/Mseq mean':>14s} {'mem/Mseq max':>13s}"
+    )
+    sep = "-" * len(header)
+    lines = [header, sep]
+    for s in stats:
+        cap = f"{s.cap:g}" if s.cap is not None else "-"
+        lines.append(
+            f"{s.algorithm:<22s} {s.n:>7d} {s.p:>4d} {cap:>6s} {s.count:>6d} "
+            f"{s.mean_makespan_ratio:>11.4f} {s.max_makespan_ratio:>10.4f} "
+            f"{s.mean_memory_ratio:>14.4f} {s.max_memory_ratio:>13.4f}"
+        )
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def group_table_csv(stats: Sequence[GroupStats]) -> str:
+    """CSV form of the campaign groupby (one row per cell)."""
+    rows = [
+        "algorithm,n,p,cap,count,mean_makespan_ratio,max_makespan_ratio,"
+        "mean_memory_ratio,max_memory_ratio"
+    ]
+    for s in stats:
+        cap = f"{s.cap:g}" if s.cap is not None else ""
+        rows.append(
+            f"{s.algorithm},{s.n},{s.p},{cap},{s.count},"
+            f"{s.mean_makespan_ratio:.6g},{s.max_makespan_ratio:.6g},"
+            f"{s.mean_memory_ratio:.6g},{s.max_memory_ratio:.6g}"
+        )
+    return "\n".join(rows)
 
 
 def table1_csv(stats: Sequence[HeuristicStats]) -> str:

@@ -13,6 +13,10 @@ Examples
    python -m repro.cli memory-cap --scale tiny
    python -m repro.cli campaign --algos ParDeepestFirst,MemoryBounded \
        --procs 2,4,8 --caps 1.5,2.0 --resume out.jsonl --workers 4
+   python -m repro.cli campaign --scale small --store columnar --resume out.store
+   python -m repro.cli pack out.store out.jsonl
+   python -m repro.cli merge all.store shard0.store shard1.store
+   python -m repro.cli table1 --records out.store
 """
 
 from __future__ import annotations
@@ -58,25 +62,35 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     )
     from repro.workloads import build_dataset
 
-    instances = build_dataset(scale=args.scale)
-    processor_counts = tuple(args.processors)
-    print(
-        f"running {len(instances)} trees x p in {processor_counts} "
-        f"x 4 heuristics ...",
-        file=sys.stderr,
-    )
-    records = run_experiments(
-        instances,
-        processor_counts,
-        progress=args.verbose,
-        workers=args.workers,
-        shared_memory=args.shared_memory,
-        backend=args.backend,
-    )
+    if args.records:
+        from repro.analysis import open_store
+
+        records = open_store(args.records).columns(include_failed=False)
+        print(
+            f"loaded {len(records)} records from {args.records}", file=sys.stderr
+        )
+    else:
+        instances = build_dataset(scale=args.scale)
+        processor_counts = tuple(args.processors)
+        print(
+            f"running {len(instances)} trees x p in {processor_counts} "
+            f"x 4 heuristics ...",
+            file=sys.stderr,
+        )
+        records = run_experiments(
+            instances,
+            processor_counts,
+            progress=args.verbose,
+            workers=args.workers,
+            shared_memory=args.shared_memory,
+            backend=args.backend,
+        )
     stats = compute_table1_stats(records)
     print(render_table1(stats))
     if args.output:
         if args.output.endswith(".json"):
+            if not isinstance(records, list):
+                records = records.to_records()
             save_records(records, args.output)
         else:
             with open(args.output, "w") as fh:
@@ -227,13 +241,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.workloads import build_dataset
 
     instances = build_dataset(scale=args.scale)
-    records = run_experiments(
-        instances,
-        tuple(args.processors),
-        workers=args.workers,
-        shared_memory=args.shared_memory,
-        backend=args.backend,
-    )
+    if args.records:
+        from repro.analysis import open_store
+
+        # columns straight from the store: every section (table 1,
+        # groupby, figures) runs on the vectorised paths
+        records = open_store(args.records).columns(include_failed=False)
+    else:
+        records = run_experiments(
+            instances,
+            tuple(args.processors),
+            workers=args.workers,
+            shared_memory=args.shared_memory,
+            backend=args.backend,
+        )
     text = build_report(records, instances)
     if args.output:
         with open(args.output, "w") as fh:
@@ -316,8 +337,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.limit:
         instances = instances[: args.limit]
     per_tree = len(campaign.scenarios_for("-"))
+    dir_store = args.store in ("columnar", "parquet")
     checkpoint = args.resume or (
-        args.output if args.output and args.output.endswith(".jsonl") else None
+        args.output
+        if args.output and (args.output.endswith(".jsonl") or dir_store)
+        else None
     )
     print(
         f"campaign: {len(instances)} trees x {per_tree} scenarios/tree = "
@@ -345,6 +369,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             workers=args.workers,
             checkpoint=checkpoint,
             resume=bool(args.resume),
+            store=args.store,
             shared_memory=args.shared_memory,
             shard_nodes=args.shard_nodes,
             progress=args.verbose,
@@ -369,19 +394,27 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     finally:
         for s, handler in previous.items():
             signal.signal(s, handler)
-    failed = [r for r in records if getattr(r, "failed", False)]
-    good = [r for r in records if not getattr(r, "failed", False)]
-    by_label: dict[str, list] = {}
-    for r in good:
-        by_label.setdefault(r.heuristic, []).append(r)
+    # columnar summary: one bincount per statistic instead of a
+    # per-record python loop (matters at megabatch/million-record scale)
+    import numpy as np
+
+    from repro.analysis import RecordColumns
+    from repro.analysis.metrics import _first_appearance_ids
+
+    cols = RecordColumns.from_records(records)
+    n_failed = int(np.count_nonzero(cols.failed))
+    good = cols.measured()
     print(f"{'algorithm':<28s} {'records':>8s} {'mean Cmax/LB':>13s} {'mean mem/Mseq':>14s}")
-    for label, rs in by_label.items():
-        cmax = sum(r.makespan_ratio for r in rs) / len(rs)
-        mem = sum(r.memory_ratio for r in rs) / len(rs)
-        print(f"{label:<28s} {len(rs):>8d} {cmax:>13.3f} {mem:>14.3f}")
-    if failed:
+    if len(good):
+        ids, labels = _first_appearance_ids(good.heuristic)
+        counts = np.bincount(ids, minlength=len(labels))
+        cmax = np.bincount(ids, weights=good.makespan_ratio(), minlength=len(labels)) / counts
+        mem = np.bincount(ids, weights=good.memory_ratio(), minlength=len(labels)) / counts
+        for k, label in enumerate(labels):
+            print(f"{str(label):<28s} {int(counts[k]):>8d} {cmax[k]:>13.3f} {mem[k]:>14.3f}")
+    if n_failed:
         print(
-            f"quarantined: {len(failed)} scenario(s) "
+            f"quarantined: {n_failed} scenario(s) "
             "(structured failed records in the checkpoint; re-run with "
             "--retry-failed to heal)",
             file=sys.stderr,
@@ -394,6 +427,22 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
         save_records(records, args.output)
         print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    from repro.analysis import pack_store
+
+    n = pack_store(args.src, args.dst, backend=args.store)
+    print(f"packed {n} records: {args.src} -> {args.dst}")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from repro.analysis import merge_stores
+
+    n = merge_stores(args.dst, args.src, backend=args.store)
+    print(f"merged {n} records from {len(args.src)} shard(s) -> {args.dst}")
     return 0
 
 
@@ -530,8 +579,18 @@ def main(argv: list[str] | None = None) -> int:
         "--resume",
         default=None,
         metavar="PATH",
-        help="JSONL checkpoint: records stream here and a re-run of the same "
-        "command continues where the file stops (byte-identical result)",
+        help="checkpoint path (.jsonl file or columnar store directory): "
+        "records stream here and a re-run of the same command continues "
+        "where the checkpoint stops (byte-identical result)",
+    )
+    sp.add_argument(
+        "--store",
+        default="auto",
+        choices=("auto", "jsonl", "columnar", "parquet"),
+        help="checkpoint backend for --resume/--output: jsonl streams one "
+        "line per record, columnar seals numpy .npz segments behind a "
+        "manifest (same records, ~10x faster million-record analysis); "
+        "auto infers from the path (default)",
     )
     sp.add_argument(
         "--shard-nodes",
@@ -598,6 +657,13 @@ def main(argv: list[str] | None = None) -> int:
 
     sp = sub.add_parser("table1", help="regenerate Table 1")
     add_common(sp)
+    sp.add_argument(
+        "--records",
+        default=None,
+        metavar="PATH",
+        help="consume an existing campaign checkpoint (.jsonl or columnar "
+        "store directory) instead of re-running the experiments",
+    )
     sp.set_defaults(func=_cmd_table1)
 
     sp = sub.add_parser("figure", help="regenerate Figure 6, 7 or 8")
@@ -625,7 +691,42 @@ def main(argv: list[str] | None = None) -> int:
 
     sp = sub.add_parser("report", help="generate the EXPERIMENTS.md body")
     add_common(sp)
+    sp.add_argument(
+        "--records",
+        default=None,
+        metavar="PATH",
+        help="consume an existing campaign checkpoint (.jsonl or columnar "
+        "store directory) instead of re-running the experiments",
+    )
     sp.set_defaults(func=_cmd_report)
+
+    sp = sub.add_parser(
+        "pack",
+        help="convert a record store between backends (jsonl <-> columnar)",
+    )
+    sp.add_argument("src", help="source store (.jsonl file or store directory)")
+    sp.add_argument("dst", help="destination store path")
+    sp.add_argument(
+        "--store",
+        default="auto",
+        choices=("auto", "jsonl", "columnar", "parquet"),
+        help="destination backend (auto: jsonl for .jsonl paths, else columnar)",
+    )
+    sp.set_defaults(func=_cmd_pack)
+
+    sp = sub.add_parser(
+        "merge",
+        help="merge campaign record shards into one store",
+    )
+    sp.add_argument("dst", help="destination store path")
+    sp.add_argument("src", nargs="+", help="source shards, merged in order")
+    sp.add_argument(
+        "--store",
+        default="auto",
+        choices=("auto", "jsonl", "columnar", "parquet"),
+        help="destination backend (auto: jsonl for .jsonl paths, else columnar)",
+    )
+    sp.set_defaults(func=_cmd_merge)
 
     args = parser.parse_args(argv)
     return args.func(args)

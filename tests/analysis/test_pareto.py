@@ -63,9 +63,15 @@ class TestHypervolume:
         hv2 = hypervolume([pt(1, 1), pt(2, 2)], reference=pt(3, 3))
         assert hv1 == hv2
 
-    def test_points_beyond_reference_ignored(self):
-        hv = hypervolume([pt(1, 1), pt(5, 0.5)], reference=pt(3, 3))
-        assert hv == hypervolume([pt(1, 1)], reference=pt(3, 3))
+    def test_points_beyond_reference_raise(self):
+        """A reference not weakly worse than every point used to be
+        silently filtered (masking negative-volume garbage in
+        comparisons); it is now a contract violation."""
+        with pytest.raises(ValueError, match="weakly worse"):
+            hypervolume([pt(1, 1), pt(5, 0.5)], reference=pt(3, 3))
+
+    def test_reference_equal_to_point_is_allowed(self):
+        assert hypervolume([pt(3, 3), pt(1, 1)], reference=pt(3, 3)) == 4.0
 
     def test_more_points_more_volume(self):
         base = hypervolume([pt(2, 2)], reference=pt(4, 4))
