@@ -1,0 +1,209 @@
+"""Scheduling-service benchmark: sustained scenarios/sec over HTTP.
+
+Runs the real stack -- stdlib HTTP server, JSON dispatch, journaled
+job store, campaign executor -- against 1 / 4 / 16 concurrent clients
+hammering ``POST /jobs`` + poll + fetch, and reports sustained
+scheduler throughput (scenarios per second, end to end, journal and
+wire included). Each concurrency level is measured twice:
+
+* **cold** -- every job ships trees the service has never seen, so
+  each pays full :class:`~repro.core.prepared.PreparedTree`
+  construction;
+* **warm** -- the same trees resubmitted as new jobs (different run
+  policy, so nothing dedupes), landing in the process-wide prepared
+  LRU; the delta is the preparation cost the cache saves.
+
+Every job's record count is asserted before timing is reported, and
+the per-level cache hit/miss counters are included so a regression in
+the LRU shows up as numbers, not vibes. Appends to the shared perf
+trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --append
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke --append
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_engine import write_payload  # noqa: E402
+
+from http.server import ThreadingHTTPServer  # noqa: E402
+
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.payload import spec_from_instances  # noqa: E402
+from repro.service.server import SchedulerService, _make_handler  # noqa: E402
+from repro.workloads.dataset import TreeInstance  # noqa: E402
+from repro.workloads.synthetic import random_weighted_tree  # noqa: E402
+
+ALGOS = ("ParSubtrees", "ParDeepestFirst")
+
+
+def make_spec(seed: int, nodes: int, trees: int, procs, retries: int) -> dict:
+    rng = np.random.default_rng(seed)
+    insts = [
+        TreeInstance(
+            name=f"b{seed}-{k}",
+            tree=random_weighted_tree(nodes, rng),
+            matrix_name="bench",
+            ordering="none",
+            amalgamation=1,
+        )
+        for k in range(trees)
+    ]
+    return spec_from_instances(
+        insts,
+        algorithms=list(ALGOS),
+        processor_counts=list(procs),
+        supervise=False,  # in-process execution through the prepared LRU
+        retries=retries,
+    )
+
+
+def run_level(
+    base: str,
+    clients: int,
+    jobs_per_client: int,
+    nodes: int,
+    trees: int,
+    procs,
+    retries: int,
+) -> tuple[float, int]:
+    """All clients submit all jobs, then wait; returns (seconds, scenarios)."""
+    per_job = len(procs) * len(ALGOS) * trees
+    results: list[list[str]] = [[] for _ in range(clients)]
+    errors: list[BaseException] = []
+
+    def one_client(ci: int) -> None:
+        try:
+            client = ServiceClient(base, timeout=60.0)
+            for j in range(jobs_per_client):
+                spec = make_spec(
+                    seed=100_000 * ci + j, nodes=nodes, trees=trees,
+                    procs=procs, retries=retries,
+                )
+                results[ci].append(client.submit(spec)["id"])
+            for jid in results[ci]:
+                st = client.wait(jid, timeout=600.0, poll=0.02)
+                assert st["state"] == "done", st
+                assert st["records"] == per_job, st
+        except BaseException as exc:  # surfaced after join
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=one_client, args=(ci,)) for ci in range(clients)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    if errors:
+        raise errors[0]
+    return elapsed, per_job * clients * jobs_per_client
+
+
+def run_serve_bench(
+    levels, jobs_per_client: int, nodes: int, trees: int, procs
+) -> list[dict]:
+    out = []
+    for clients in levels:
+        root = tempfile.mkdtemp(prefix="bench-serve-")
+        service = SchedulerService(
+            root, queue_depth=max(64, clients * jobs_per_client * 2),
+            prepared_capacity=4096,
+        )
+        service.start()
+        httpd = ThreadingHTTPServer(("127.0.0.1", 0), _make_handler(service))
+        threading.Thread(target=httpd.serve_forever, daemon=True).start()
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        try:
+            cold_s, scenarios = run_level(
+                base, clients, jobs_per_client, nodes, trees, procs, retries=2
+            )
+            cold_cache = service.prepared.stats()
+            # same trees, new jobs (retries bumps the content key)
+            warm_s, _ = run_level(
+                base, clients, jobs_per_client, nodes, trees, procs, retries=3
+            )
+            warm_cache = service.prepared.stats()
+            row = {
+                "clients": clients,
+                "jobs": clients * jobs_per_client,
+                "scenarios": scenarios,
+                "tree_nodes": nodes,
+                "cold_s": round(cold_s, 4),
+                "cold_scenarios_per_s": round(scenarios / cold_s, 2),
+                "warm_s": round(warm_s, 4),
+                "warm_scenarios_per_s": round(scenarios / warm_s, 2),
+                "warm_speedup": round(cold_s / warm_s, 2),
+                "cache_misses_cold": cold_cache["misses"],
+                "cache_hits_warm": warm_cache["hits"] - cold_cache["hits"],
+            }
+            out.append(row)
+            print(
+                f"  {clients:>2} client(s): cold {row['cold_scenarios_per_s']:>8} "
+                f"warm {row['warm_scenarios_per_s']:>8} scenarios/s "
+                f"(x{row['warm_speedup']})"
+            )
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.drain()
+            shutil.rmtree(root, ignore_errors=True)
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--levels", type=int, nargs="+", default=[1, 4, 16])
+    parser.add_argument("--jobs-per-client", type=int, default=2)
+    parser.add_argument("--nodes", type=int, default=400)
+    parser.add_argument("--trees", type=int, default=2)
+    parser.add_argument("--procs", type=int, nargs="+", default=[2, 4, 8])
+    parser.add_argument("--output", default="BENCH_engine.json")
+    parser.add_argument(
+        "--append",
+        action="store_true",
+        help="append to the output file instead of overwriting it",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny grids, levels 1 and 4 only (CI bit-rot guard)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.levels = [1, 4]
+        args.jobs_per_client = 1
+        args.nodes = 60
+        args.procs = [2, 4]
+    payload = {
+        "benchmark": "serve",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "smoke": bool(args.smoke),
+        "jobs_per_client": args.jobs_per_client,
+        "serve": run_serve_bench(
+            args.levels, args.jobs_per_client, args.nodes, args.trees,
+            tuple(args.procs),
+        ),
+    }
+    write_payload(args.output, payload, args.append)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -59,6 +59,7 @@ from repro.workloads.dataset import TreeInstance, PROCESSOR_COUNTS
 
 from .experiments import FailedRecord, ScenarioRecord
 from .store import RecordStore, open_store
+from .supervisor import CampaignAborted
 
 __all__ = ["Campaign", "Scenario", "run_campaign", "recover_checkpoint"]
 
@@ -427,6 +428,9 @@ def run_campaign(
     fault_plan: "faults.FaultPlan | None" = None,
     retry_failed: bool = False,
     report: list | None = None,
+    pool: "SupervisorPool | None" = None,
+    prepare: "Callable[[TreeInstance], PreparedTree] | None" = None,
+    abort: "threading.Event | None" = None,
 ) -> list[ScenarioRecord | FailedRecord]:
     """Execute a campaign grid, optionally resuming a checkpoint.
 
@@ -515,6 +519,24 @@ def run_campaign(
         optional mutable list; supervised runs append their
         :class:`~repro.analysis.supervisor.RunReport` (per-scenario
         attempts, backend fallbacks, respawns, timings).
+    pool:
+        a live :class:`~repro.analysis.supervisor.SupervisorPool` to
+        execute on (implies ``supervise``); the pool's workers,
+        backend choice and fault plan are reused across campaigns, so
+        a long-lived caller (the scheduling service) pays spawn +
+        probe + kernel warm-up once, not once per job.
+    prepare:
+        in-process runs only: a ``TreeInstance -> PreparedTree``
+        provider replacing the per-group ``PreparedTree(inst.tree)``
+        construction -- the service plugs its process-wide LRU in
+        here. Results are unaffected (a PreparedTree is immutable
+        apart from its leased scratch rows).
+    abort:
+        a ``threading.Event``; once set, the run stops between
+        scenarios (supervised) or work units (in-process / pooled)
+        by raising :class:`~repro.analysis.supervisor.CampaignAborted`.
+        Everything already emitted is in the checkpoint, so a resumed
+        run continues exactly where the aborted one stopped.
     """
     instances = list(instances)
     groups = [campaign.scenarios_for(inst.name) for inst in instances]
@@ -585,6 +607,11 @@ def run_campaign(
 
     def consume(results: Iterable[list[ScenarioRecord]]) -> None:
         for (gi, _), recs in zip(units, results):
+            if abort is not None and abort.is_set():
+                raise CampaignAborted(
+                    f"campaign aborted with {remaining_units[gi]} unit(s) "
+                    f"of {instances[gi].name} outstanding"
+                )
             computed[gi].extend(recs)
             if ckstore is not None:
                 ckstore.append(recs)
@@ -592,7 +619,7 @@ def run_campaign(
             if progress and remaining_units[gi] == 0:  # pragma: no cover - cosmetic
                 print(f"  done {instances[gi].name} (n={instances[gi].tree.n})")
 
-    if supervise:
+    if supervise or pool is not None:
         from .supervisor import run_supervised
 
         # Per-scenario dispatch: the units flatten back into the exact
@@ -613,19 +640,33 @@ def run_campaign(
         if fault_plan is not None:
             faults.install(fault_plan)
         try:
-            run_report = run_supervised(
-                instances,
-                tasks,
-                validate=campaign.validate,
-                backend=campaign.backend,
-                workers=max(1, workers),
-                retries=retries,
-                timeout=timeout,
-                backoff=backoff,
-                fault_plan=fault_plan,
-                shared_memory=shared_memory,
-                emit=emit,
-            )
+            if pool is not None:
+                run_report = pool.run(
+                    instances,
+                    tasks,
+                    validate=campaign.validate,
+                    retries=retries,
+                    timeout=timeout,
+                    backoff=backoff,
+                    shared_memory=shared_memory,
+                    emit=emit,
+                    abort=abort,
+                )
+            else:
+                run_report = run_supervised(
+                    instances,
+                    tasks,
+                    validate=campaign.validate,
+                    backend=campaign.backend,
+                    workers=max(1, workers),
+                    retries=retries,
+                    timeout=timeout,
+                    backoff=backoff,
+                    fault_plan=fault_plan,
+                    shared_memory=shared_memory,
+                    emit=emit,
+                    abort=abort,
+                )
         finally:
             if fault_plan is not None:
                 faults.install(None)
@@ -682,7 +723,11 @@ def run_campaign(
             prepared = None
             for gi, chunk in units:
                 if gi != prepared_group:
-                    prepared = PreparedTree(instances[gi].tree)
+                    inst = instances[gi]
+                    prepared = (
+                        prepare(inst) if prepare is not None
+                        else PreparedTree(inst.tree)
+                    )
                     prepared_group = gi
                 yield _scenario_records(
                     instances[gi].name,

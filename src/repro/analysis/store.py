@@ -50,6 +50,8 @@ from __future__ import annotations
 
 import json
 import os
+import threading
+import time
 from dataclasses import asdict, dataclass
 from typing import Iterable, Iterator, Sequence
 
@@ -85,6 +87,19 @@ DEFAULT_SEAL_ROWS = 65536
 
 _MANIFEST = "manifest.json"
 _FORMAT = "repro-store"
+
+#: single-writer lock file of directory stores (pid-stamped, O_EXCL)
+_WRITER_LOCK = ".writer.lock"
+
+#: writer-lock refcounts of this process, keyed by store realpath.
+#: Several store objects of one process may write the same directory
+#: (their calls are serialized by the caller -- the historical
+#: contract); they share the process's on-disk lock, which is unlinked
+#: when the last of them releases. The dict also distinguishes "this
+#: process holds the lock" from "a dead process with our recycled pid
+#: number left it behind" (stale: break it).
+_LIVE_LOCKS: dict[str, int] = {}
+_LIVE_LOCKS_GUARD = threading.Lock()
 
 #: the record schema, column-major. ``error``/``attempts``/``failed``
 #: carry :class:`FailedRecord` rows; metric columns are NaN there (the
@@ -355,6 +370,9 @@ class RecordStore:
     def finalize(self) -> None:
         """Optional end-of-run compaction hook (no-op by default)."""
 
+    def close(self) -> None:
+        """Release writer resources, if any (no-op by default)."""
+
 
 class JsonlStore(RecordStore):
     """The historical single-file JSONL checkpoint, byte-identical."""
@@ -428,6 +446,118 @@ class ColumnarStore(RecordStore):
             )
         self.seal_rows = max(1, int(seal_rows))
         self._tail_rows: int | None = None  # lazy; tracked across appends
+        self._locked = False
+
+    # -- single-writer lock --------------------------------------------
+    # Two processes appending to one store directory interleave tail
+    # lines and race the manifest commit; the lock makes the second
+    # writer fail fast instead. Same pattern as the ``_ckernel`` compile
+    # lock: an O_EXCL-created file stamped with the writer's pid. A lock
+    # whose holder is dead (crashed or SIGKILLed mid-campaign -- the
+    # resume path must keep working) is broken automatically; reads
+    # never take the lock.
+    @property
+    def _lock_path(self) -> str:
+        return os.path.join(self.path, _WRITER_LOCK)
+
+    def _lock_holder(self) -> int | None:
+        try:
+            with open(self._lock_path) as fh:
+                return int(fh.read().strip() or "0") or None
+        except (OSError, ValueError):
+            return None
+
+    def _acquire_writer(self) -> None:
+        if self._locked:
+            return
+        os.makedirs(self.path, exist_ok=True)
+        real = os.path.realpath(self.path)
+        for attempt in range(2):
+            with _LIVE_LOCKS_GUARD:
+                if real in _LIVE_LOCKS:  # this process already holds it
+                    _LIVE_LOCKS[real] += 1
+                    self._locked = True
+                    return
+            try:
+                fd = os.open(
+                    self._lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                holder = self._lock_holder()
+                with _LIVE_LOCKS_GUARD:
+                    live_here = real in _LIVE_LOCKS
+                if live_here:
+                    continue  # raced a sibling of this process: share it
+                if attempt == 0 and self._lock_stale(holder):
+                    try:
+                        os.unlink(self._lock_path)
+                    except OSError:  # pragma: no cover - raced
+                        pass
+                    continue
+                raise RuntimeError(
+                    f"{self.path!r} already has a live writer"
+                    + (f" (pid {holder})" if holder else "")
+                    + ": a record store accepts one writer process at a "
+                    f"time ({_WRITER_LOCK} is released on finalize/close "
+                    "and broken automatically once its holder exits)"
+                )
+            with os.fdopen(fd, "w") as fh:
+                fh.write(f"{os.getpid()}\n")
+            with _LIVE_LOCKS_GUARD:
+                _LIVE_LOCKS[real] = _LIVE_LOCKS.get(real, 0) + 1
+            self._locked = True
+            return
+
+    def _lock_stale(self, holder: int | None) -> bool:
+        """Is the on-disk lock the residue of a dead writer?
+
+        A readable pid that no longer runs -- or our own pid without a
+        live lock registered (a recycled pid from a crashed run) -- is
+        stale. A lock without a readable pid is in the tiny window
+        between creation and stamp; only its age can tell, so break it
+        after the same staleness bound the compile lock uses.
+        """
+        if holder is None:
+            try:
+                age = time.time() - os.stat(self._lock_path).st_mtime
+            except OSError:
+                return True  # vanished: retry the acquisition
+            return age > 150.0
+        if holder == os.getpid():
+            return True
+        try:
+            os.kill(holder, 0)
+        except ProcessLookupError:
+            return True
+        except OSError:  # pragma: no cover - EPERM: alive, not ours
+            return False
+        return False
+
+    def _release_writer(self) -> None:
+        if not self._locked:
+            return
+        self._locked = False
+        real = os.path.realpath(self.path)
+        with _LIVE_LOCKS_GUARD:
+            count = _LIVE_LOCKS.get(real, 1) - 1
+            if count > 0:
+                _LIVE_LOCKS[real] = count
+                return  # a sibling object of this process still writes
+            _LIVE_LOCKS.pop(real, None)
+        try:
+            os.unlink(self._lock_path)
+        except OSError:  # pragma: no cover - best-effort
+            pass
+
+    def close(self) -> None:
+        """Release the writer lock (reading never takes it)."""
+        self._release_writer()
+
+    def __del__(self):  # pragma: no cover - interpreter-dependent
+        try:
+            self._release_writer()
+        except Exception:
+            pass
 
     # -- manifest ------------------------------------------------------
     @property
@@ -463,6 +593,7 @@ class ColumnarStore(RecordStore):
         return os.path.join(self.path, f"tail-{m['tail_gen']:06d}.jsonl")
 
     def reset(self) -> None:
+        self._acquire_writer()
         os.makedirs(self.path, exist_ok=True)
         m = {
             "format": _FORMAT,
@@ -541,6 +672,7 @@ class ColumnarStore(RecordStore):
         return self._tail_rows
 
     def append(self, records: Sequence[ScenarioRecord | FailedRecord]) -> None:
+        self._acquire_writer()
         m = self._ensure()
         rows = self._tail_count(m)
         with open(self._tail_path(m), "a") as fh:
@@ -556,6 +688,7 @@ class ColumnarStore(RecordStore):
 
     def seal(self) -> None:
         """Compact the open tail into a sealed columnar segment."""
+        self._acquire_writer()
         self._seal(self._ensure())
 
     def _seal(self, m: dict) -> None:
@@ -574,14 +707,20 @@ class ColumnarStore(RecordStore):
         self._tail_rows = 0
 
     def finalize(self) -> None:
-        """Seal the tail so finished stores are pure-columnar reads."""
-        m = self._ensure()
-        if self._tail_count(m):
-            self._seal(m)
+        """Seal the tail so finished stores are pure-columnar reads,
+        then release the writer lock."""
+        self._acquire_writer()
+        try:
+            m = self._ensure()
+            if self._tail_count(m):
+                self._seal(m)
+        finally:
+            self._release_writer()
 
     def extend_columns(self, cols: RecordColumns) -> None:
         """Bulk-append ``cols`` directly as one sealed segment (the
         pack/merge/benchmark path; no JSONL round-trip)."""
+        self._acquire_writer()
         m = self._ensure()
         if self._tail_count(m):
             self._seal(m)
@@ -617,6 +756,7 @@ class ColumnarStore(RecordStore):
         return cols if include_failed else cols.measured()
 
     def truncate(self, keep: int) -> None:
+        self._acquire_writer()
         m = self._manifest()
         sealed = sum(seg["rows"] for seg in m["segments"])
         if keep > sealed + self._tail_count(m):
@@ -769,6 +909,7 @@ def pack_store(src: str | RecordStore, dst: str | RecordStore, backend: str = "a
         dst_store.extend_columns(cols)
     else:
         dst_store.append(cols.to_records(include_failed=True))
+    dst_store.finalize()  # directory stores: release the writer lock
     return len(cols)
 
 
@@ -797,4 +938,5 @@ def merge_stores(dst: str | RecordStore, sources: Sequence[str | RecordStore],
             dst_store.extend_columns(cols)
         else:
             dst_store.append(cols.to_records(include_failed=True))
+    dst_store.finalize()  # directory stores: release the writer lock
     return total

@@ -446,6 +446,19 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve
+
+    return serve(
+        args.root,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        job_timeout=args.job_timeout,
+    )
+
+
 def _cmd_algos(args: argparse.Namespace) -> int:
     from repro import registry
 
@@ -727,6 +740,39 @@ def main(argv: list[str] | None = None) -> int:
         help="destination backend (auto: jsonl for .jsonl paths, else columnar)",
     )
     sp.set_defaults(func=_cmd_merge)
+
+    sp = sub.add_parser(
+        "serve",
+        help="run the durable scheduling service (JSON job API over HTTP)",
+        description=(
+            "Expose the campaign runtime as a crash-safe job service: "
+            "POST /jobs submits a grid, GET /jobs/<id> polls it, "
+            "GET /jobs/<id>/records streams the checkpoint. Jobs are "
+            "journaled on disk; after a crash or SIGKILL, restarting "
+            "the server resumes every interrupted job byte-identically. "
+            "SIGTERM drains gracefully (stop accepting, checkpoint "
+            "in-flight work, exit 0)."
+        ),
+    )
+    sp.add_argument("root", help="service state directory (jobs journal)")
+    sp.add_argument("--host", default="127.0.0.1")
+    sp.add_argument(
+        "--port", type=int, default=8042,
+        help="TCP port; 0 picks a free one (printed as JSON on stdout)",
+    )
+    sp.add_argument(
+        "--workers", type=int, default=1,
+        help="supervised pool size shared by all jobs (default 1)",
+    )
+    sp.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="max queued jobs before POST /jobs answers 429 (default 16)",
+    )
+    sp.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="per-job wall-clock budget in seconds (default: none)",
+    )
+    sp.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.func(args)

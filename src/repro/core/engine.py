@@ -193,7 +193,18 @@ def resolve_backend(backend: str | None = None) -> str:
     return backend
 
 
-def probe_backend(backend: str | None = None) -> tuple[str, list[tuple[str, str]]]:
+#: memoised :func:`probe_backend` decisions, keyed by
+#: ``(backend request, pid)``. The pid key makes the cache fork-safe
+#: for free: a forked child (a fresh supervisor worker) sees a miss and
+#: probes for itself, while repeated probes inside one process (the
+#: scheduling service's ``/readyz``, a supervisor respawning in-process
+#: state) hit the cache instead of re-paying the two-node sweep.
+_PROBE_CACHE: dict[tuple[str, int], tuple[str, tuple[tuple[str, str], ...]]] = {}
+
+
+def probe_backend(
+    backend: str | None = None, *, refresh: bool = False
+) -> tuple[str, list[tuple[str, str]]]:
     """Health-probe the sweep-backend chain; return what actually works.
 
     :func:`resolve_backend` answers "is the backend nominally present"
@@ -212,7 +223,25 @@ def probe_backend(backend: str | None = None) -> tuple[str, list[tuple[str, str]
     decision for the worker's lifetime, and records ``skipped`` in the
     :class:`~repro.analysis.supervisor.RunReport`. Results never depend
     on the outcome: every backend is bit-identical.
+
+    The decision is memoised per ``(backend request, pid)``, so
+    repeated probes in one process (health endpoints, pool restarts)
+    cost a dict lookup. The cache is bypassed -- never read, never
+    written -- while a fault plan is active (injected compile failures
+    must keep degrading the probe), and ``refresh=True`` forces a live
+    probe.
     """
+    from repro.testing import faults
+
+    key = (
+        backend or os.environ.get(BACKEND_ENV_VAR, "") or "auto",
+        os.getpid(),
+    )
+    cacheable = faults.active_plan() is None
+    if cacheable and not refresh:
+        hit = _PROBE_CACHE.get(key)
+        if hit is not None:
+            return hit[0], [tuple(s) for s in hit[1]]
     skipped: list[tuple[str, str]] = []
     try:
         first: str | None = resolve_backend(backend)
@@ -229,6 +258,8 @@ def probe_backend(backend: str | None = None) -> tuple[str, list[tuple[str, str]
         try:
             resolve_backend(candidate)
             SchedulerEngine(probe_tree, 1, rank, backend=candidate).run()
+            if cacheable:
+                _PROBE_CACHE[key] = (candidate, tuple(map(tuple, skipped)))
             return candidate, skipped
         except Exception as exc:
             skipped.append((candidate, f"{type(exc).__name__}: {exc}"))
@@ -504,43 +535,45 @@ class SchedulerEngine:
         n = tree.n
         parent = tree.parent
         # Run-invariant typed columns come from the prepared bundle; the
-        # kernels mutate ``pending``, so they get the reusable scratch
-        # buffer (refilled from the pristine counts, no allocation).
-        pending = self.prepared.pending_scratch()
+        # kernels mutate ``pending``, so they lease a scratch slot for
+        # the duration of the sweep (refilled from the pristine counts,
+        # no allocation; exclusive per in-flight sweep, so one shared
+        # PreparedTree is safe under concurrent Python threads).
         w = tree.w
         capped, mode, cap_eps = self._mode_args()
         alloc = self.prepared.alloc
         free_on_end = self.prepared.free_on_end
         sigma = self.order if capped else np.empty(0, dtype=np.int64)
         start, end, proc, activation, mem_trace, status, finals = sweep_arrays(n)
-        args = (
-            parent,
-            pending,
-            w,
-            self.rank,
-            self._byrank,
-            self.p,
-            mode,
-            cap_eps,
-            alloc,
-            free_on_end,
-            sigma,
-            start,
-            end,
-            proc,
-            activation,
-            mem_trace,
-            status,
-            finals,
-        )
-        if self.backend == "numba":
-            _sweep.JIT_KERNEL(*args)
-        elif self.backend == "c":
-            from . import _ckernel
+        with self.prepared.lease_scratch() as pending:
+            args = (
+                parent,
+                pending,
+                w,
+                self.rank,
+                self._byrank,
+                self.p,
+                mode,
+                cap_eps,
+                alloc,
+                free_on_end,
+                sigma,
+                start,
+                end,
+                proc,
+                activation,
+                mem_trace,
+                status,
+                finals,
+            )
+            if self.backend == "numba":
+                _sweep.JIT_KERNEL(*args)
+            elif self.backend == "c":
+                from . import _ckernel
 
-            _ckernel.kernel(*args)
-        else:  # "kernel": the interpreted spec
-            _sweep.PY_KERNEL(*args)
+                _ckernel.kernel(*args)
+            else:  # "kernel": the interpreted spec
+                _sweep.PY_KERNEL(*args)
         return self._finish_kernel(
             start, end, proc, activation, mem_trace, status, finals
         )
@@ -790,29 +823,29 @@ def _batch_via_single(
         fn = _sweep.JIT_KERNEL
     empty = sigmas[0][:0]
     for j in range(ps.shape[0]):
-        pending = prepared.pending_scratch()
         sid = int(sigma_id[j])
         rid = int(rank_id[j])
-        fn(
-            parent,
-            pending,
-            w,
-            ranks[rid],
-            byranks[rid],
-            int(ps[j]),
-            int(modes[j]),
-            float(cap_eps[j]),
-            alloc,
-            free_on_end,
-            sigmas[sid] if sid >= 0 else empty,
-            start[j],
-            end[j],
-            proc[j],
-            activation[j],
-            mem_trace[j],
-            status[j],
-            finals[j],
-        )
+        with prepared.lease_scratch() as pending:
+            fn(
+                parent,
+                pending,
+                w,
+                ranks[rid],
+                byranks[rid],
+                int(ps[j]),
+                int(modes[j]),
+                float(cap_eps[j]),
+                alloc,
+                free_on_end,
+                sigmas[sid] if sid >= 0 else empty,
+                start[j],
+                end[j],
+                proc[j],
+                activation[j],
+                mem_trace[j],
+                status[j],
+                finals[j],
+            )
 
 
 def sweep_batch(

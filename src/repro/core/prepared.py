@@ -39,6 +39,8 @@ once per worker, sweep many times.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from typing import Callable, Hashable
 
 import numpy as np
@@ -116,6 +118,9 @@ class PreparedTree:
         "tree",
         "_pending0",
         "_pending_scratch",
+        "_scratch_lock",
+        "_scratch_free",
+        "_scratch_next",
         "_alloc",
         "_optimal",
         "_sigma_rank",
@@ -133,6 +138,9 @@ class PreparedTree:
         self.tree = tree
         self._pending0 = None
         self._pending_scratch = None
+        self._scratch_lock = threading.Lock()
+        self._scratch_free: list[int] = []
+        self._scratch_next = 0
         self._alloc = None
         self._optimal = None
         self._sigma_rank = None
@@ -171,15 +179,51 @@ class PreparedTree:
             raise ValueError("slot must be non-negative")
         cache = self._pending_scratch
         if cache is None or len(cache) <= slot:
-            matrix = np.empty((slot + 1, self.n), dtype=np.int64)
-            # cache the row views so each slot hands back the same
-            # buffer object run after run (grown matrices retire the
-            # old ones, but live views keep their memory valid)
-            cache = [matrix[i] for i in range(slot + 1)]
-            self._pending_scratch = cache
+            with self._scratch_lock:
+                cache = self._pending_scratch
+                if cache is None or len(cache) <= slot:
+                    matrix = np.empty((slot + 1, self.n), dtype=np.int64)
+                    # cache the row views so each slot hands back the same
+                    # buffer object run after run (grown matrices retire the
+                    # old ones, but live views keep their memory valid)
+                    cache = [matrix[i] for i in range(slot + 1)]
+                    self._pending_scratch = cache
         row = cache[slot]
         np.copyto(row, self.pending0)
         return row
+
+    def acquire_scratch_slot(self) -> int:
+        """Claim exclusive ownership of a mutation-scratch slot.
+
+        The slot stays owned until :meth:`release_scratch_slot`; while
+        owned, no other caller is handed the same slot, so concurrent
+        sweeps from multiple Python threads each mutate a private
+        ``pending`` row. Prefer :meth:`lease_scratch`.
+        """
+        with self._scratch_lock:
+            if self._scratch_free:
+                return self._scratch_free.pop()
+            slot = self._scratch_next
+            self._scratch_next += 1
+            return slot
+
+    def release_scratch_slot(self, slot: int) -> None:
+        """Return a slot claimed by :meth:`acquire_scratch_slot`."""
+        with self._scratch_lock:
+            self._scratch_free.append(slot)
+
+    @contextmanager
+    def lease_scratch(self):
+        """Context manager yielding a refilled, exclusively-owned
+        ``pending`` scratch row (one mutation scratch per in-flight
+        sweep: the engine leases one around each kernel call, so a
+        shared :class:`PreparedTree` -- e.g. the scheduling service's
+        process-wide LRU -- is safe to sweep from concurrent threads)."""
+        slot = self.acquire_scratch_slot()
+        try:
+            yield self.pending_scratch(slot)
+        finally:
+            self.release_scratch_slot(slot)
 
     @property
     def alloc(self) -> np.ndarray:

@@ -1,0 +1,600 @@
+"""The scheduling service: job queue, executor, and HTTP front ends.
+
+Architecture
+------------
+:class:`SchedulerService` owns the durable pieces -- the
+:class:`~repro.service.jobs.JobStore` journal, a bounded admission
+queue, one executor thread, a persistent
+:class:`~repro.analysis.supervisor.SupervisorPool` for supervised jobs
+and a process-wide :class:`PreparedLRU` for in-process jobs (each
+sweep leases its own mutation scratch row, so concurrent use of one
+cached tree is safe). HTTP is a thin shell: every route reduces to
+:func:`dispatch`, which both the stdlib :mod:`http.server` handler and
+the ASGI adapter (:func:`build_asgi`, for ``uvicorn`` via the
+``serve`` extra) call -- the wire behaviour is identical.
+
+Crash safety
+------------
+Submission journals the job *before* the HTTP response; execution
+checkpoints every record through the campaign resume contract. A
+``kill -9`` therefore loses at most the torn final line of a record
+file: on restart :meth:`SchedulerService.start` flips interrupted jobs
+back to ``queued`` and re-runs them with ``resume=True``, producing a
+record stream byte-identical to an uninterrupted run (pinned by the
+service test suite and the CI smoke drill).
+
+Backpressure and drain
+----------------------
+``POST /jobs`` answers ``429`` with a ``Retry-After`` hint once
+``queue_depth`` jobs are waiting, and ``503`` once draining. On
+``SIGTERM`` the server stops accepting, aborts the in-flight campaign
+between scenarios (its records are already checkpointed; the job goes
+back to ``queued`` for the next server), closes the pool and exits 0.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing.util
+import os
+import re
+import signal
+import threading
+import time
+from collections import OrderedDict, deque
+from hashlib import sha256
+from typing import Any
+
+from repro.analysis.campaign import run_campaign
+from repro.analysis.supervisor import CampaignAborted, SupervisorPool
+from repro.core.prepared import PreparedTree
+
+from . import payload as payload_mod
+from .jobs import JobStore, TransitionError
+from .payload import SpecError
+
+__all__ = ["PreparedLRU", "SchedulerService", "build_asgi", "dispatch", "serve"]
+
+
+class PreparedLRU:
+    """A process-wide ``tree bytes -> PreparedTree`` cache.
+
+    Keyed by the content of the tree's four defining arrays, so equal
+    trees posted by different jobs share one preparation (CSR counts,
+    optimal traversal, rank permutations). Safe under concurrency: a
+    PreparedTree is immutable apart from its pending scratch, and
+    every sweep leases a private scratch row.
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        self.capacity = max(1, capacity)
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, PreparedTree]" = OrderedDict()
+
+    @staticmethod
+    def key_of(tree) -> str:
+        h = sha256()
+        for col in (tree.parent, tree.w, tree.f, tree.sizes):
+            h.update(col.tobytes())
+        return h.hexdigest()
+
+    def prepare(self, inst) -> PreparedTree:
+        """The ``prepare=`` hook of :func:`run_campaign`."""
+        key = self.key_of(inst.tree)
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return hit
+            self.misses += 1
+        prepared = PreparedTree(inst.tree)
+        with self._lock:
+            self._entries[key] = prepared
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return prepared
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
+class SchedulerService:
+    """The durable job runner behind every HTTP front end."""
+
+    def __init__(
+        self,
+        root: str,
+        *,
+        workers: int = 1,
+        queue_depth: int = 16,
+        job_timeout: float | None = None,
+        retry_after: float = 2.0,
+        prepared_capacity: int = 32,
+    ) -> None:
+        self.jobs = JobStore(root)
+        self.workers = max(1, workers)
+        self.queue_depth = max(1, queue_depth)
+        self.job_timeout = job_timeout
+        self.retry_after = retry_after
+        self.prepared = PreparedLRU(prepared_capacity)
+        self.started = time.time()
+        self.draining = False
+        self._lock = threading.Lock()
+        self._queue: deque[str] = deque()
+        self._wakeup = threading.Condition(self._lock)
+        self._aborts: dict[str, threading.Event] = {}
+        self._cancelled: set[str] = set()
+        self._running: str | None = None
+        self._done_jobs = 0
+        self._pool: SupervisorPool | None = None
+        self._executor: threading.Thread | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> list[str]:
+        """Recover interrupted jobs, start the executor; returns the
+        ids re-enqueued from the journal (crash/drain leftovers)."""
+        recovered = [job.id for job in self.jobs.recover()]
+        with self._lock:
+            self._queue.extend(recovered)
+        self._executor = threading.Thread(
+            target=self._executor_main, name="repro-serve-executor", daemon=True
+        )
+        self._executor.start()
+        return recovered
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Stop accepting, abort the in-flight job between scenarios
+        (checkpointed; it re-queues), and join the executor."""
+        with self._lock:
+            self.draining = True
+            for ev in self._aborts.values():
+                ev.set()
+            self._wakeup.notify_all()
+        if self._executor is not None:
+            self._executor.join(timeout=timeout)
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    # -- submission / queries -------------------------------------------
+    def submit(self, spec: Any) -> tuple[int, dict]:
+        """Journal + enqueue; returns ``(http status, body)``."""
+        if self.draining:
+            return 503, {"error": "server is draining"}
+        with self._lock:
+            depth = len(self._queue)
+            if depth >= self.queue_depth:
+                return 429, {
+                    "error": f"queue full ({depth} job(s) waiting)",
+                    "retry_after": self.retry_after,
+                }
+        try:
+            job, created = self.jobs.create(spec)
+        except SpecError as exc:
+            return 400, {"error": str(exc)}
+        with self._lock:
+            if not created and job.state in ("queued", "running", "done"):
+                # idempotent retry: pending or already finished
+                return 200, job.to_dict()
+            if job.state in ("failed", "cancelled"):
+                # explicit resubmission: requeue, resume from checkpoint
+                job = self.jobs.transition(job.id, "queued")
+                self._cancelled.discard(job.id)
+            if job.id not in self._queue:
+                self._queue.append(job.id)
+            self._wakeup.notify_all()
+        return (201 if created else 200), job.to_dict()
+
+    def status(self, jid: str) -> tuple[int, dict]:
+        try:
+            return 200, self.jobs.get(jid).to_dict()
+        except FileNotFoundError:
+            return 404, {"error": f"no such job {jid!r}"}
+
+    def listing(self) -> tuple[int, dict]:
+        return 200, {"jobs": [j.to_dict() for j in self.jobs.jobs()]}
+
+    def cancel(self, jid: str) -> tuple[int, dict]:
+        try:
+            job = self.jobs.get(jid)
+        except FileNotFoundError:
+            return 404, {"error": f"no such job {jid!r}"}
+        with self._lock:
+            if job.state == "queued":
+                try:
+                    job = self.jobs.transition(jid, "cancelled", expect="queued")
+                except TransitionError:
+                    job = self.jobs.get(jid)  # raced the executor
+                else:
+                    self._cancelled.add(jid)
+                    if jid in self._queue:
+                        self._queue.remove(jid)
+                    return 200, job.to_dict()
+            if job.state == "running":
+                self._cancelled.add(jid)
+                ev = self._aborts.get(jid)
+                if ev is not None:
+                    ev.set()
+                return 202, {**job.to_dict(), "cancelling": True}
+        if job.state == "cancelled":
+            return 200, job.to_dict()
+        return 409, {
+            "error": f"job {jid} is {job.state}: nothing to cancel",
+            **job.to_dict(),
+        }
+
+    def health(self) -> tuple[int, dict]:
+        with self._lock:
+            queued = len(self._queue)
+            running = self._running
+        return 200, {
+            "ok": True,
+            "uptime": time.time() - self.started,
+            "queued": queued,
+            "running": running,
+            "completed": self._done_jobs,
+            "draining": self.draining,
+            "workers": self.workers,
+            "prepared_cache": self.prepared.stats(),
+        }
+
+    def ready(self) -> tuple[int, dict]:
+        if self.draining:
+            return 503, {"ready": False, "reason": "draining"}
+        try:
+            from repro.core.engine import probe_backend
+
+            chosen, skipped = probe_backend()  # memoised per process
+        except Exception as exc:
+            return 503, {"ready": False, "reason": f"no usable backend: {exc}"}
+        return 200, {
+            "ready": True,
+            "backend": chosen,
+            "skipped": [list(s) for s in skipped],
+        }
+
+    def records_file(self, jid: str) -> tuple[int, Any]:
+        """``(200, (path, length))`` with length clamped to the last
+        complete line, or ``(404, body)``."""
+        try:
+            job = self.jobs.get(jid)
+        except FileNotFoundError:
+            return 404, {"error": f"no such job {jid!r}"}
+        path = job.records_path
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except FileNotFoundError:
+            return 200, (path, 0)
+        # serve complete records only: crash residue never leaves disk
+        return 200, (path, data.rfind(b"\n") + 1)
+
+    # -- execution ------------------------------------------------------
+    def _pool_for(self) -> SupervisorPool:
+        if self._pool is None:
+            self._pool = SupervisorPool(workers=self.workers)
+        return self._pool
+
+    def _executor_main(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self.draining:
+                    self._wakeup.wait()
+                if self.draining:
+                    return
+                jid = self._queue.popleft()
+                if jid in self._cancelled:
+                    continue
+                abort = threading.Event()
+                self._aborts[jid] = abort
+                self._running = jid
+            try:
+                self._run_job(jid, abort)
+            finally:
+                with self._lock:
+                    self._aborts.pop(jid, None)
+                    self._cancelled.discard(jid)
+                    self._running = None
+
+    def _run_job(self, jid: str, abort: threading.Event) -> None:
+        try:
+            job = self.jobs.transition(jid, "running", expect="queued")
+        except TransitionError:
+            return  # cancelled (or otherwise settled) while waiting
+        spec = job.spec()
+        cfg = payload_mod.run_config(spec)
+        timer: threading.Timer | None = None
+        timed_out = threading.Event()
+        if self.job_timeout is not None:
+            def _expire() -> None:
+                timed_out.set()
+                abort.set()
+
+            timer = threading.Timer(self.job_timeout, _expire)
+            timer.daemon = True
+            timer.start()
+        t0 = time.monotonic()
+        try:
+            instances = payload_mod.to_instances(spec)
+            campaign = payload_mod.to_campaign(spec)
+            kwargs: dict[str, Any] = dict(
+                checkpoint=job.records_path,
+                resume=os.path.exists(job.records_path),
+                retries=int(cfg["retries"]),
+                timeout=cfg["timeout"],
+                backoff=float(cfg["backoff"]),
+                abort=abort,
+            )
+            reports: list = []
+            if cfg["supervise"]:
+                kwargs["pool"] = self._pool_for()
+                kwargs["report"] = reports
+            else:
+                kwargs["prepare"] = self.prepared.prepare
+            records = run_campaign(instances, campaign, **kwargs)
+            detail = {
+                "scenarios": len(records),
+                "failed_scenarios": sum(
+                    1 for r in records if type(r).__name__ == "FailedRecord"
+                ),
+                "elapsed": time.monotonic() - t0,
+            }
+            if reports:
+                detail["respawns"] = reports[0].respawns
+                detail["retried"] = len(reports[0].retried)
+            self.jobs.transition(jid, "done", detail=detail)
+            self._done_jobs += 1
+        except CampaignAborted:
+            if timed_out.is_set():
+                self.jobs.transition(
+                    jid, "failed",
+                    error=f"job exceeded its {self.job_timeout:g}s wall-clock "
+                          "budget; partial records are checkpointed",
+                )
+            elif jid in self._cancelled:
+                self.jobs.transition(jid, "cancelled", error="cancelled")
+            else:  # draining: back to the queue, resume on next start
+                self.jobs.transition(jid, "queued")
+        except Exception as exc:
+            self.jobs.transition(
+                jid, "failed", error=f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            if timer is not None:
+                timer.cancel()
+
+
+# ----------------------------------------------------------------------
+# one dispatch, two front ends
+# ----------------------------------------------------------------------
+_JOB_ID = re.compile(r"^/jobs/([0-9a-f]{6,64})(/records|/cancel)?$")
+
+
+def dispatch(
+    service: SchedulerService, method: str, path: str, body: bytes
+) -> tuple[int, dict[str, str], Any]:
+    """Route one request; returns ``(status, extra headers, payload)``.
+
+    ``payload`` is a JSON-able dict, or a ``("file", path, length)``
+    triple for the streamed record fetch.
+    """
+    if method == "GET" and path == "/healthz":
+        status, out = service.health()
+        return status, {}, out
+    if method == "GET" and path == "/readyz":
+        status, out = service.ready()
+        return status, {}, out
+    if path == "/jobs" and method == "POST":
+        try:
+            spec = json.loads(body or b"null")
+        except json.JSONDecodeError as exc:
+            return 400, {}, {"error": f"request body is not JSON: {exc}"}
+        status, out = service.submit(spec)
+        headers = {}
+        if status == 429:
+            headers["Retry-After"] = f"{service.retry_after:g}"
+        return status, headers, out
+    if path == "/jobs" and method == "GET":
+        status, out = service.listing()
+        return status, {}, out
+    m = _JOB_ID.match(path)
+    if m:
+        jid, tail = m.group(1), m.group(2)
+        if tail is None and method == "GET":
+            status, out = service.status(jid)
+            return status, {}, out
+        if tail == "/cancel" and method == "POST":
+            status, out = service.cancel(jid)
+            return status, {}, out
+        if tail == "/records" and method == "GET":
+            status, out = service.records_file(jid)
+            if status != 200:
+                return status, {}, out
+            fpath, length = out
+            return 200, {}, ("file", fpath, length)
+    return 404, {}, {"error": f"no route for {method} {path}"}
+
+
+def _iter_file(path: str, length: int, chunk: int = 1 << 16):
+    sent = 0
+    if length:
+        with open(path, "rb") as fh:
+            while sent < length:
+                piece = fh.read(min(chunk, length - sent))
+                if not piece:
+                    break  # file shrank under us; stop at what we have
+                sent += len(piece)
+                yield piece
+
+
+# -- stdlib front end ---------------------------------------------------
+def _make_handler(service: SchedulerService):
+    from http.server import BaseHTTPRequestHandler
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-serve"
+
+        def log_message(self, fmt, *args):  # quiet by default
+            if os.environ.get("REPRO_SERVE_LOG"):
+                super().log_message(fmt, *args)
+
+        def _reply(self) -> None:
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length) if length else b""
+            status, headers, out = dispatch(
+                service, self.command, self.path.split("?", 1)[0], body
+            )
+            if isinstance(out, tuple) and out[0] == "file":
+                _, fpath, flen = out
+                self.send_response(status)
+                self.send_header("Content-Type", "application/jsonl")
+                self.send_header("Content-Length", str(flen))
+                self.end_headers()
+                for piece in _iter_file(fpath, flen):
+                    self.wfile.write(piece)
+                return
+            payload = json.dumps(out).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            for k, v in headers.items():
+                self.send_header(k, v)
+            self.end_headers()
+            self.wfile.write(payload)
+
+        do_GET = do_POST = do_DELETE = _reply
+
+    return Handler
+
+
+def serve(
+    root: str,
+    host: str = "127.0.0.1",
+    port: int = 8042,
+    *,
+    workers: int = 1,
+    queue_depth: int = 16,
+    job_timeout: float | None = None,
+    announce=print,
+) -> int:
+    """Run the scheduling service until SIGTERM/SIGINT; returns 0.
+
+    Prints (via ``announce``) one JSON line with the bound address
+    once ready -- with ``port=0`` the kernel picks a free port, so
+    parse that line rather than guessing. The same line is journaled
+    to ``<root>/service.json`` for tooling.
+    """
+    from http.server import ThreadingHTTPServer
+
+    service = SchedulerService(
+        root,
+        workers=workers,
+        queue_depth=queue_depth,
+        job_timeout=job_timeout,
+    )
+    recovered = service.start()
+    httpd = ThreadingHTTPServer((host, port), _make_handler(service))
+    httpd.daemon_threads = True
+    # The supervised pool forks workers that would inherit the listening
+    # socket; if the server is then SIGKILLed those children keep the
+    # port bound and a restarted server cannot bind it. Close the
+    # inherited fd in every forked child.
+    multiprocessing.util.register_after_fork(
+        httpd, lambda srv: srv.socket.close()
+    )
+    bound = f"http://{httpd.server_address[0]}:{httpd.server_address[1]}"
+    info = {"serving": bound, "root": service.jobs.root, "recovered": recovered}
+
+    def _shutdown(signum, frame):  # pragma: no cover - signal path
+        threading.Thread(target=httpd.shutdown, daemon=True).start()
+
+    previous = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        previous[sig] = signal.signal(sig, _shutdown)
+    try:
+        with open(os.path.join(service.jobs.root, "service.json"), "w") as fh:
+            json.dump(info, fh)
+        announce(json.dumps(info), flush=True)
+        httpd.serve_forever()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        httpd.server_close()
+        service.drain()
+    return 0
+
+
+# -- ASGI front end (the optional `serve` extra runs this under uvicorn)
+def build_asgi(service: SchedulerService):
+    """An ASGI 3 application over the same :func:`dispatch` table.
+
+    Needs no third-party code by itself; install the ``serve`` extra
+    and run ``uvicorn`` against the callable for a production-grade
+    event loop. Lifecycle (recovery, drain) follows the ASGI lifespan
+    protocol.
+    """
+
+    async def app(scope, receive, send):
+        if scope["type"] == "lifespan":
+            while True:
+                msg = await receive()
+                if msg["type"] == "lifespan.startup":
+                    service.start()
+                    await send({"type": "lifespan.startup.complete"})
+                elif msg["type"] == "lifespan.shutdown":
+                    service.drain()
+                    await send({"type": "lifespan.shutdown.complete"})
+                    return
+        if scope["type"] != "http":  # pragma: no cover - websockets etc.
+            raise RuntimeError(f"unsupported scope {scope['type']!r}")
+        body = b""
+        while True:
+            msg = await receive()
+            if msg["type"] == "http.request":
+                body += msg.get("body", b"")
+                if not msg.get("more_body"):
+                    break
+        status, headers, out = dispatch(
+            service, scope["method"], scope["path"], body
+        )
+        if isinstance(out, tuple) and out[0] == "file":
+            _, fpath, flen = out
+            await send({
+                "type": "http.response.start",
+                "status": status,
+                "headers": [
+                    (b"content-type", b"application/jsonl"),
+                    (b"content-length", str(flen).encode()),
+                ],
+            })
+            for piece in _iter_file(fpath, flen):
+                await send({
+                    "type": "http.response.body",
+                    "body": piece,
+                    "more_body": True,
+                })
+            await send({"type": "http.response.body", "body": b""})
+            return
+        payload = json.dumps(out).encode()
+        wire_headers = [
+            (b"content-type", b"application/json"),
+            (b"content-length", str(len(payload)).encode()),
+        ] + [(k.lower().encode(), v.encode()) for k, v in headers.items()]
+        await send({
+            "type": "http.response.start",
+            "status": status,
+            "headers": wire_headers,
+        })
+        await send({"type": "http.response.body", "body": payload})
+
+    return app

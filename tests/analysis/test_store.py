@@ -280,6 +280,7 @@ class TestColumnarStore:
         store.append(records)
         orphan = os.path.join(store.path, "seg-000099.npz")
         store._segment_write(RecordColumns.from_records(records), orphan)
+        store.close()  # the "crashed" writer is gone; its lock with it
         fresh = ColumnarStore(str(tmp_path / "d.store"))
         assert list(fresh.recover()) == records
         fresh.reset()
@@ -687,3 +688,94 @@ class TestVectorizedAnalysis:
             hypervolume_columns(
                 np.array([1.0, 5.0]), np.array([2.0, 1.0]), (4.0, 4.0)
             )
+
+
+# ----------------------------------------------------------------------
+# single-writer lock: one writer process per store directory
+# ----------------------------------------------------------------------
+class TestWriterLock:
+    def test_second_process_fails_fast(self, tmp_path):
+        d = str(tmp_path / "d.store")
+        store = ColumnarStore(d)
+        store.append(mixed_records()[:2])  # acquires the writer lock
+        code = f"""
+from repro.analysis.store import ColumnarStore
+from repro.analysis.experiments import ScenarioRecord
+store = ColumnarStore({d!r})
+store.append([ScenarioRecord("x", 1, 2, "h", 1.0, 1.0, 1.0, 1.0)])
+"""
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env={**os.environ, "PYTHONPATH": _pythonpath()},
+            capture_output=True,
+            timeout=120,
+        )
+        assert proc.returncode != 0
+        assert b"already has a live writer" in proc.stderr
+        assert f"pid {os.getpid()}" in proc.stderr.decode()
+        # the loser changed nothing and the holder keeps appending
+        assert store.count() == 2
+        store.append(mixed_records()[2:3])
+        store.close()
+
+    def test_lock_released_allows_next_process(self, tmp_path):
+        d = str(tmp_path / "d.store")
+        store = ColumnarStore(d)
+        store.append(mixed_records()[:2])
+        store.close()
+        code = f"""
+from repro.analysis.store import ColumnarStore
+from repro.analysis.experiments import ScenarioRecord
+store = ColumnarStore({d!r})
+store.append([ScenarioRecord("x", 1, 2, "h", 1.0, 1.0, 1.0, 1.0)])
+store.close()
+"""
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env={**os.environ, "PYTHONPATH": _pythonpath()},
+            capture_output=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr.decode()
+        fresh = ColumnarStore(d)
+        assert fresh.count() == 3
+
+    def test_stale_dead_pid_lock_is_broken(self, tmp_path):
+        d = str(tmp_path / "d.store")
+        store = ColumnarStore(d)
+        store.append(mixed_records()[:2])
+        store.close()
+        # a pid that existed and is now certainly gone
+        ghost = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True,
+            timeout=120,
+        )
+        dead_pid = int(ghost.stdout)
+        with open(os.path.join(d, ".writer.lock"), "w") as fh:
+            fh.write(str(dead_pid))
+        again = ColumnarStore(d)
+        again.append(mixed_records()[2:3])  # breaks the stale lock
+        assert again.count() == 3
+        again.close()
+
+    def test_same_process_stores_share_the_lock(self, tmp_path):
+        # save_records(append=True) style: two live store objects of
+        # one process serialize through a refcounted shared lock
+        d = str(tmp_path / "d.store")
+        a = ColumnarStore(d)
+        a.append(mixed_records()[:2])
+        b = ColumnarStore(d)
+        b.append(mixed_records()[2:4])
+        a.close()  # refcount drops to one: still locked
+        assert os.path.exists(os.path.join(d, ".writer.lock"))
+        b.close()
+        assert not os.path.exists(os.path.join(d, ".writer.lock"))
+        assert ColumnarStore(d).count() == 4
+
+    def test_finalize_releases_the_lock(self, tmp_path):
+        d = str(tmp_path / "d.store")
+        store = ColumnarStore(d)
+        store.append(mixed_records())
+        store.finalize()
+        assert not os.path.exists(os.path.join(d, ".writer.lock"))

@@ -145,6 +145,16 @@ class TestSelection:
 # startup health probe: the supervised runtime's degradation chain
 # ----------------------------------------------------------------------
 class TestProbeBackend:
+    @pytest.fixture(autouse=True)
+    def _fresh_probe_cache(self):
+        """Probe decisions are memoised per (backend, pid); these tests
+        pin the *live* probe behaviour, so each starts uncached."""
+        from repro.core import engine as engine_mod
+
+        engine_mod._PROBE_CACHE.clear()
+        yield
+        engine_mod._PROBE_CACHE.clear()
+
     def test_probe_picks_a_working_backend(self, monkeypatch):
         from repro.core.engine import probe_backend
 
@@ -195,6 +205,48 @@ class TestProbeBackend:
         chosen, skipped = probe_backend("python")
         assert chosen != "python"
         assert any("sabotaged" in why for _b, why in skipped)
+
+    def test_probe_memoised_per_backend_and_pid(self, monkeypatch):
+        """Repeated probes in one process (health endpoints, supervisor
+        pool restarts) are served from the (backend, pid) cache instead
+        of re-running the two-node sweep; refresh=True forces a live
+        probe."""
+        from repro.core import engine as engine_mod
+        from repro.core.engine import probe_backend
+
+        sweeps = []
+        real_init = engine_mod.SchedulerEngine.__init__
+
+        def counting(self, *a, **kw):
+            sweeps.append(kw.get("backend"))
+            return real_init(self, *a, **kw)
+
+        monkeypatch.setattr(engine_mod.SchedulerEngine, "__init__", counting)
+        first = probe_backend("python")
+        live = len(sweeps)
+        assert live >= 1
+        assert probe_backend("python") == first
+        assert len(sweeps) == live  # cache hit: no new sweep
+        assert probe_backend("python", refresh=True) == first
+        assert len(sweeps) > live  # forced live probe
+
+    def test_probe_cache_bypassed_under_fault_plan(self, monkeypatch):
+        """An active fault plan must keep degrading live probes: cached
+        decisions are neither read nor written while one is installed."""
+        from repro.core.engine import probe_backend
+        from repro.testing import faults
+
+        monkeypatch.delenv(faults.ENV_VAR, raising=False)
+        warm = probe_backend("c")  # cached (whatever the chain picked)
+        faults.install(faults.FaultPlan((faults.Fault(kind="compile_failure"),)))
+        try:
+            chosen, skipped = probe_backend("c")
+        finally:
+            faults.install(None)
+        assert chosen != "c"
+        assert "injected compile failure" in dict(skipped)["c"]
+        # and the plan-era decision did not poison the cache
+        assert probe_backend("c") == warm
 
     def test_apply_backend_only_touches_declaring_algorithms(self):
         assert registry.apply_backend("ParDeepestFirst", {}, "python") == {

@@ -1,0 +1,120 @@
+"""The on-disk job journal: atomic creation, state machine, recovery."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.service.jobs import JobStore, TransitionError
+
+
+def tiny_spec(**run):
+    return {
+        "trees": [
+            {
+                "name": "t0",
+                "parent": [-1, 0, 0],
+                "w": [1.0, 2.0, 3.0],
+                "f": [0.0, 1.0, 1.0],
+                "sizes": [1.0, 1.0, 1.0],
+            }
+        ],
+        "campaign": {"algorithms": ["ParSubtrees"], "processor_counts": [2]},
+        "run": run,
+    }
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(str(tmp_path / "svc"))
+
+
+class TestCreate:
+    def test_create_is_idempotent(self, store):
+        a, created_a = store.create(tiny_spec())
+        b, created_b = store.create(tiny_spec())
+        assert created_a and not created_b
+        assert a.id == b.id
+        assert a.state == "queued"
+        assert json.load(open(a.spec_path))["campaign"]["algorithms"] == [
+            "ParSubtrees"
+        ]
+
+    def test_distinct_work_distinct_jobs(self, store):
+        a, _ = store.create(tiny_spec())
+        b, _ = store.create(tiny_spec(retries=7))
+        assert a.id != b.id
+        assert sorted(store.ids()) == sorted([a.id, b.id])
+
+    def test_no_stage_dirs_leak(self, store):
+        store.create(tiny_spec())
+        leftovers = [d for d in os.listdir(store.jobs_dir) if d.startswith(".")]
+        assert leftovers == []
+
+
+class TestStateMachine:
+    def test_happy_path(self, store):
+        job, _ = store.create(tiny_spec())
+        job = store.transition(job.id, "running", expect="queued")
+        assert job.state == "running"
+        job = store.transition(job.id, "done", detail={"scenarios": 4})
+        assert job.state == "done"
+        assert job.detail["scenarios"] == 4
+
+    def test_done_is_terminal(self, store):
+        job, _ = store.create(tiny_spec())
+        store.transition(job.id, "running")
+        store.transition(job.id, "done")
+        for bad in ("running", "queued", "cancelled", "failed"):
+            with pytest.raises(TransitionError):
+                store.transition(job.id, bad)
+
+    def test_expect_guards_races(self, store):
+        job, _ = store.create(tiny_spec())
+        store.transition(job.id, "cancelled")
+        with pytest.raises(TransitionError, match="expected queued"):
+            store.transition(job.id, "running", expect="queued")
+
+    def test_failed_and_cancelled_can_requeue(self, store):
+        job, _ = store.create(tiny_spec())
+        store.transition(job.id, "running")
+        store.transition(job.id, "failed", error="boom")
+        job = store.transition(job.id, "queued")
+        assert job.state == "queued" and job.error == ""
+
+    def test_state_file_is_replaced_atomically(self, store):
+        job, _ = store.create(tiny_spec())
+        store.transition(job.id, "running")
+        names = os.listdir(job.path)
+        assert "state.json" in names
+        assert not [n for n in names if n.endswith(".tmp")]
+
+
+class TestRecovery:
+    def test_running_jobs_flip_back_to_queued_in_order(self, store):
+        a, _ = store.create(tiny_spec())
+        b, _ = store.create(tiny_spec(retries=9))
+        store.transition(b.id, "running")
+        queued = store.recover()
+        assert [j.state for j in queued] == ["queued", "queued"]
+        assert store.get(b.id).detail.get("recovered") is True
+        # submit order: creation time then id
+        assert [j.id for j in queued] == sorted(
+            [a.id, b.id], key=lambda i: (store.get(i).created, i)
+        )
+
+    def test_settled_jobs_left_alone(self, store):
+        job, _ = store.create(tiny_spec())
+        store.transition(job.id, "running")
+        store.transition(job.id, "done")
+        assert store.recover() == []
+        assert store.get(job.id).state == "done"
+
+    def test_record_count_counts_complete_lines(self, store):
+        job, _ = store.create(tiny_spec())
+        assert job.record_count() == 0
+        with open(job.records_path, "wb") as fh:
+            fh.write(b'{"a":1}\n{"b":2}\n{"torn')
+        assert store.get(job.id).to_dict()["records"] == 2
